@@ -1,0 +1,57 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/mdm"
+	"repro/internal/qlang"
+	"repro/internal/query"
+)
+
+var sweepAreaCodes = []string{"908", "973", "201", "609", "212", "914"}
+
+// buildAreaUnion builds a UCQ with one disjunct per area code: the
+// Table I row-3 workload.
+func buildAreaUnion(disjuncts int) qlang.Query {
+	if disjuncts > len(sweepAreaCodes) {
+		disjuncts = len(sweepAreaCodes)
+	}
+	var ds []*cq.CQ
+	for i := 0; i < disjuncts; i++ {
+		ds = append(ds, areaCQ(fmt.Sprintf("U%d", i+1), sweepAreaCodes[i]))
+	}
+	return qlang.FromUCQ(cq.Union("U", ds...))
+}
+
+// buildAreaEFO builds the same union as an ∃FO⁺ query with nested
+// disjunction: the Table I row-4 workload, exercising DNF expansion.
+func buildAreaEFO() qlang.Query {
+	c, n, ccv, a, p := query.Var("C"), query.Var("N"), query.Var("CC"), query.Var("A"), query.Var("P")
+	e, d := query.Var("E"), query.Var("D")
+	disj := cq.Or(
+		cq.FEq(a, query.C("908")),
+		cq.FEq(a, query.C("973")),
+		cq.FEq(a, query.C("201")),
+	)
+	body := cq.And(
+		cq.FAtom(mdm.Cust, c, n, ccv, a, p),
+		cq.FAtom(mdm.Supt, e, d, c),
+		cq.FEq(ccv, query.C("01")),
+		disj,
+	)
+	return qlang.FromEFO(cq.NewEFO("Qefo", []query.Term{c}, body))
+}
+
+// areaCQ is Q0 for one area code as a raw CQ (Q0 wraps it in qlang).
+func areaCQ(name, ac string) *cq.CQ {
+	c, n, ccv, a, p := query.Var("C"), query.Var("N"), query.Var("CC"), query.Var("A"), query.Var("P")
+	e, d := query.Var("E"), query.Var("D")
+	return cq.New(name, []query.Term{c},
+		[]query.RelAtom{
+			query.Atom(mdm.Cust, c, n, ccv, a, p),
+			query.Atom(mdm.Supt, e, d, c),
+		},
+		query.Eq(ccv, query.C("01")),
+		query.Eq(a, query.C(ac)))
+}

@@ -1,0 +1,209 @@
+// Command relcheck decides relative information completeness for a
+// query over a partially closed database, per Fan & Geerts: it runs
+// RCDP (is this database complete for the query relative to the master
+// data and containment constraints?) and/or RCQP (does any complete
+// database exist?), printing verdicts and witnesses.
+//
+// Usage:
+//
+//	relcheck -schemas r.schema -master-schemas rm.schema \
+//	         -db d.facts -master dm.facts \
+//	         -constraints v.cc -query q.cq [-mode rcdp|rcqp|both]
+//
+// All files use the textq format (see package repro/internal/textq).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/qlang"
+	"repro/internal/relation"
+	"repro/internal/textq"
+)
+
+func main() {
+	var (
+		schemasPath   = flag.String("schemas", "", "database schema declarations (required)")
+		mSchemasPath  = flag.String("master-schemas", "", "master data schema declarations")
+		dbPath        = flag.String("db", "", "database facts (required for rcdp)")
+		masterPath    = flag.String("master", "", "master data facts")
+		constraintsPp = flag.String("constraints", "", "containment constraints")
+		queryPath     = flag.String("query", "", "query (required)")
+		mode          = flag.String("mode", "rcdp", "rcdp, rcqp or both")
+		verbose       = flag.Bool("v", false, "print inputs before deciding")
+	)
+	flag.Parse()
+	if err := run(*schemasPath, *mSchemasPath, *dbPath, *masterPath, *constraintsPp, *queryPath, *mode, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "relcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(schemasPath, mSchemasPath, dbPath, masterPath, constraintsPath, queryPath, mode string, verbose bool) error {
+	if schemasPath == "" || queryPath == "" {
+		return fmt.Errorf("-schemas and -query are required")
+	}
+	schemas, err := loadSchemas(schemasPath)
+	if err != nil {
+		return err
+	}
+	mSchemas := map[string]*relation.Schema{}
+	if mSchemasPath != "" {
+		if mSchemas, err = loadSchemas(mSchemasPath); err != nil {
+			return err
+		}
+	}
+	dm, err := loadDB(masterPath, mSchemas)
+	if err != nil {
+		return err
+	}
+	vset := cc.NewSet()
+	if constraintsPath != "" {
+		src, err := os.ReadFile(constraintsPath)
+		if err != nil {
+			return err
+		}
+		if vset, err = textq.ParseConstraints(string(src), schemas, dm); err != nil {
+			return err
+		}
+	}
+	qsrc, err := os.ReadFile(queryPath)
+	if err != nil {
+		return err
+	}
+	q, err := textq.ParseQuery(string(qsrc), schemas)
+	if err != nil {
+		return err
+	}
+	if verbose {
+		fmt.Printf("query (%v):\n%s\n\nconstraints:\n%s\n\n", q.Lang(), q, vset)
+	}
+
+	doRCDP := mode == "rcdp" || mode == "both"
+	doRCQP := mode == "rcqp" || mode == "both"
+	if !doRCDP && !doRCQP {
+		return fmt.Errorf("unknown -mode %q", mode)
+	}
+
+	if doRCDP {
+		if dbPath == "" {
+			return fmt.Errorf("-db is required for rcdp")
+		}
+		d, err := loadDB(dbPath, schemas)
+		if err != nil {
+			return err
+		}
+		if err := reportRCDP(q, d, dm, vset); err != nil {
+			return err
+		}
+	}
+	if doRCQP {
+		if err := reportRCQP(q, dm, vset, schemas); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func reportRCDP(q qlang.Query, d, dm *relation.Database, vset *cc.Set) error {
+	if !q.Lang().Monotone() || !vset.AllMonotone() {
+		r, err := core.BoundedRCDP(q, d, dm, vset, core.BoundedOpts{})
+		if err != nil {
+			return err
+		}
+		if r.Incomplete {
+			fmt.Printf("RCDP: INCOMPLETE (undecidable fragment, bounded search)\n  extension:\n%s", indent(r.Extension.String()))
+			if r.NewTuple != nil {
+				fmt.Printf("  new answer: %v\n", r.NewTuple)
+			}
+		} else {
+			fmt.Printf("RCDP: complete up to extensions of %d tuples (undecidable fragment — Theorem 3.1; %d candidates explored)\n", r.MaxAdd, r.Explored)
+		}
+		return nil
+	}
+	r, err := core.RCDP(q, d, dm, vset)
+	if err != nil {
+		return err
+	}
+	if r.Complete {
+		fmt.Printf("RCDP: COMPLETE — D answers the query completely relative to (Dm, V) (%d valuations checked)\n", r.Valuations)
+		return nil
+	}
+	fmt.Printf("RCDP: INCOMPLETE — the following partially closed extension changes the answer:\n%s  new answer: %v\n",
+		indent(r.Extension.String()), r.NewTuple)
+	return nil
+}
+
+func reportRCQP(q qlang.Query, dm *relation.Database, vset *cc.Set, schemas map[string]*relation.Schema) error {
+	if !q.Lang().Monotone() || !vset.AllMonotone() {
+		return fmt.Errorf("RCQP for FO/FP inputs is undecidable (Theorem 4.1); no bounded mode is wired into relcheck")
+	}
+	res, err := core.RCQP(q, dm, vset, schemas)
+	if err != nil {
+		return err
+	}
+	switch res.Status {
+	case core.Yes:
+		fmt.Printf("RCQP: YES — a relatively complete database exists (method %s)\n", res.Method)
+		if res.Witness != nil {
+			fmt.Printf("  witness (verified complete):\n%s", indent(res.Witness.String()))
+		}
+	case core.No:
+		fmt.Printf("RCQP: NO — no database is complete for this query (method %s)\n  %s\n", res.Method, res.Detail)
+	default:
+		fmt.Printf("RCQP: UNKNOWN — %s\n", res.Detail)
+	}
+	return nil
+}
+
+func loadSchemas(path string) (map[string]*relation.Schema, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return textq.ParseSchemas(string(src))
+}
+
+func loadDB(path string, schemas map[string]*relation.Schema) (*relation.Database, error) {
+	if path == "" {
+		var ss []*relation.Schema
+		for _, s := range schemas {
+			ss = append(ss, s)
+		}
+		return relation.NewDatabase(ss...), nil
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return textq.ParseDatabase(string(src), schemas)
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "    " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

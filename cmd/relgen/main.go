@@ -1,0 +1,105 @@
+// Command relgen generates a synthetic CRM/master-data scenario (the
+// Example 1.1 workload of Fan & Geerts) in the textq file format, ready
+// for relcheck:
+//
+//	relgen -out dir [-seed 1] [-customers 20] [-international 5]
+//	       [-employees 5] [-support 2] [-maxsupport 3]
+//	       [-completeness 1.0] [-depth 4]
+//
+// It writes r.schema, rm.schema, d.facts, dm.facts, v.cc and two query
+// files (q0.cq for the area-code query, q2.cq for Example 1.1's Q₂).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/mdm"
+	"repro/internal/textq"
+)
+
+func main() {
+	var (
+		out          = flag.String("out", "", "output directory (required)")
+		seed         = flag.Int64("seed", 1, "generator seed")
+		customers    = flag.Int("customers", 20, "domestic customers in master data")
+		intl         = flag.Int("international", 5, "international customers")
+		employees    = flag.Int("employees", 5, "support employees")
+		support      = flag.Int("support", 2, "customers supported per employee")
+		maxSupport   = flag.Int("maxsupport", 3, "cardinality bound k of φ₁")
+		completeness = flag.Float64("completeness", 1.0, "fraction of master customers present in D")
+		depth        = flag.Int("depth", 4, "management chain depth")
+		ac           = flag.String("ac", "908", "area code used by the generated Q0/Q1 queries")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "relgen: -out is required")
+		os.Exit(1)
+	}
+	cfg := mdm.Config{
+		Seed:                   *seed,
+		DomesticCustomers:      *customers,
+		InternationalCustomers: *intl,
+		Employees:              *employees,
+		SupportPerEmployee:     *support,
+		MaxSupport:             *maxSupport,
+		Completeness:           *completeness,
+		ManageDepth:            *depth,
+	}
+	if err := run(cfg, *out, *ac); err != nil {
+		fmt.Fprintln(os.Stderr, "relgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg mdm.Config, out, ac string) error {
+	s := mdm.Generate(cfg)
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	files := map[string]string{
+		"r.schema":  textq.FormatSchemas(mdm.Schemas()),
+		"rm.schema": textq.FormatSchemas(mdm.MasterSchemas()),
+		"d.facts":   textq.FormatDatabase(s.D),
+		"dm.facts":  textq.FormatDatabase(s.Dm),
+		"v.cc": fmt.Sprintf(
+			"# φ0: supported domestic customers (cid, ac) are bounded by master data\n"+
+				"cc phi0(C, A) :- Cust(C, N, CC, A, P), Supt(E, D, C), CC = 01 <= DCust[0, 2]\n"+
+				"# φ1: an employee supports at most %d customers\n%s",
+			cfg.MaxSupport, atMostKText(cfg.MaxSupport)),
+		"q0.cq": fmt.Sprintf(
+			"# Q0: all supported domestic customers with area code %s\n"+
+				"Q0(C) :- Cust(C, N, CC, A, P), Supt(E, D, C), CC = 01, A = %s\n", ac, ac),
+		"q2.cq": "# Q2: all customers supported by employee e00\nQ2(C) :- Supt(E, D, C), E = e00\n",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(out, name), []byte(content), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote scenario to %s: |DCust|=%d |Cust|=%d |Supt|=%d |Manage|=%d\n",
+		out,
+		s.Dm.Instance(mdm.DCust).Len(), s.D.Instance(mdm.Cust).Len(),
+		s.D.Instance(mdm.Supt).Len(), s.D.Instance(mdm.Manage).Len())
+	return nil
+}
+
+// atMostKText renders φ₁ for the given k in textq constraint syntax:
+// k+1 Supt atoms sharing the employee with pairwise distinct customers.
+func atMostKText(k int) string {
+	body := ""
+	for i := 0; i <= k; i++ {
+		if i > 0 {
+			body += ", "
+		}
+		body += fmt.Sprintf("Supt(E, D%d, C%d)", i, i)
+	}
+	for i := 0; i <= k; i++ {
+		for j := i + 1; j <= k; j++ {
+			body += fmt.Sprintf(", C%d != C%d", i, j)
+		}
+	}
+	return "cc phi1(E) :- " + body + " <= empty\n"
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of Wenfei Fan and
+// Floris Geerts, "Relative Information Completeness" (PODS 2009;
+// extended version ACM TODS 35(4), 2010).
+//
+// The library decides whether a partially closed database — one
+// constrained by master data through containment constraints — has
+// complete information to answer a query (RCDP), and whether any
+// complete database exists for a query at all (RCQP), for the query and
+// constraint languages studied in the paper (CQ, UCQ, ∃FO⁺, FO, FP and
+// inclusion dependencies). See README.md for the architecture,
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of the paper's complexity tables.
+package repro

@@ -1,0 +1,241 @@
+// Package automata implements deterministic finite 2-head automata
+// (2-head DFAs) over the alphabet {0,1}, the machine model whose
+// emptiness problem drives the undecidability proofs of Theorems 3.1(3,4)
+// and 4.1(1,3,4) in Fan & Geerts, following the definitions the paper
+// takes from Spielmann (2000). It provides simulation with
+// configuration-cycle detection, a bounded emptiness check, and the
+// relational string encoding (P, P̄, F) used by the reductions.
+package automata
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// Symbol is an input symbol: 0, 1, or Epsilon (no read).
+type Symbol int8
+
+// Input symbols.
+const (
+	Sym0 Symbol = iota
+	Sym1
+	Epsilon
+)
+
+func (s Symbol) String() string {
+	switch s {
+	case Sym0:
+		return "0"
+	case Sym1:
+		return "1"
+	default:
+		return "ε"
+	}
+}
+
+// Move is a head movement: stay (0) or advance (+1).
+type Move int8
+
+// Head movements.
+const (
+	Stay    Move = 0
+	Advance Move = 1
+)
+
+// TransKey identifies a transition's source: state plus the symbols
+// under (or ignored by) the two heads.
+type TransKey struct {
+	State    int
+	In1, In2 Symbol
+}
+
+// TransVal is a transition's effect: next state and head movements.
+type TransVal struct {
+	State        int
+	Move1, Move2 Move
+}
+
+// DFA is a deterministic finite 2-head automaton
+// A = (Q, Σ, δ, q₀, q_acc) with Q = {0..NumStates-1}, q₀ = Start and
+// q_acc = Accept. Delta is a transition function; when several entries
+// apply to a configuration the most specific wins (see Validate), so
+// the machine is deterministic by construction.
+type DFA struct {
+	NumStates int
+	Start     int
+	Accept    int
+	Delta     map[TransKey]TransVal
+}
+
+// New builds an automaton with no transitions.
+func New(numStates, start, accept int) *DFA {
+	return &DFA{NumStates: numStates, Start: start, Accept: accept, Delta: make(map[TransKey]TransVal)}
+}
+
+// Add installs a transition.
+func (a *DFA) Add(state int, in1, in2 Symbol, next int, m1, m2 Move) {
+	a.Delta[TransKey{state, in1, in2}] = TransVal{next, m1, m2}
+}
+
+// Validate checks state ranges. Determinism is structural: Delta is a
+// transition function keyed by (state, symbol-under-head-1,
+// symbol-under-head-2), where a head past the end of the input reads ε
+// — following Spielmann (2000), ε is the end-of-input marker, not a
+// wildcard — so every configuration has at most one successor.
+func (a *DFA) Validate() error {
+	if a.Start < 0 || a.Start >= a.NumStates || a.Accept < 0 || a.Accept >= a.NumStates {
+		return fmt.Errorf("automata: start/accept out of range")
+	}
+	for k, v := range a.Delta {
+		if k.State < 0 || k.State >= a.NumStates || v.State < 0 || v.State >= a.NumStates {
+			return fmt.Errorf("automata: transition %v -> %v out of range", k, v)
+		}
+	}
+	return nil
+}
+
+// config is a runtime configuration: state and the two head positions
+// (0-based indexes into the input; position len(w) is end-of-input).
+type config struct {
+	state  int
+	p1, p2 int
+}
+
+// step computes the successor configuration, if any: a single exact
+// lookup on (state, symbol-or-ε, symbol-or-ε), where ε is read exactly
+// when the head is past the input.
+func (a *DFA) step(c config, w []Symbol) (config, bool) {
+	symAt := func(p int) Symbol {
+		if p < len(w) {
+			return w[p]
+		}
+		return Epsilon
+	}
+	v, ok := a.Delta[TransKey{c.state, symAt(c.p1), symAt(c.p2)}]
+	if !ok {
+		return config{}, false
+	}
+	nc := config{state: v.State, p1: c.p1 + int(v.Move1), p2: c.p2 + int(v.Move2)}
+	if nc.p1 > len(w) {
+		nc.p1 = len(w)
+	}
+	if nc.p2 > len(w) {
+		nc.p2 = len(w)
+	}
+	return nc, true
+}
+
+// AddWild2 installs a transition for every head-2 reading (0, 1 and ε)
+// when head 2 is irrelevant; head 2 stays put.
+func (a *DFA) AddWild2(state int, in1 Symbol, next int, m1 Move) {
+	for _, s2 := range []Symbol{Sym0, Sym1, Epsilon} {
+		a.Add(state, in1, s2, next, m1, Stay)
+	}
+}
+
+// AddWild1 installs a transition for every head-1 reading when head 1
+// is irrelevant; head 1 stays put.
+func (a *DFA) AddWild1(state int, in2 Symbol, next int, m2 Move) {
+	for _, s1 := range []Symbol{Sym0, Sym1, Epsilon} {
+		a.Add(state, s1, in2, next, Stay, m2)
+	}
+}
+
+// Accepts simulates the automaton on w. The configuration space is
+// finite (|Q| × (|w|+1)²); a repeated configuration means rejection.
+func (a *DFA) Accepts(w []Symbol) bool {
+	c := config{state: a.Start}
+	seen := map[config]bool{c: true}
+	for {
+		if c.state == a.Accept {
+			return true
+		}
+		nc, ok := a.step(c, w)
+		if !ok {
+			return false
+		}
+		if seen[nc] {
+			return false
+		}
+		seen[nc] = true
+		c = nc
+	}
+}
+
+// EmptyUpTo checks emptiness of L(A) over all inputs of length at most
+// maxLen. It returns an accepted word (and false) when one exists. The
+// emptiness problem is undecidable in general (Spielmann 2000), so this
+// bounded check is the strongest decidable approximation.
+func (a *DFA) EmptyUpTo(maxLen int) ([]Symbol, bool) {
+	var w []Symbol
+	var rec func() ([]Symbol, bool)
+	rec = func() ([]Symbol, bool) {
+		if a.Accepts(w) {
+			return append([]Symbol(nil), w...), false
+		}
+		if len(w) == maxLen {
+			return nil, true
+		}
+		for _, s := range []Symbol{Sym0, Sym1} {
+			w = append(w, s)
+			if acc, empty := rec(); !empty {
+				return acc, false
+			}
+			w = w[:len(w)-1]
+		}
+		return nil, true
+	}
+	return rec()
+}
+
+// Word converts a 0/1 string to symbols.
+func Word(s string) ([]Symbol, error) {
+	out := make([]Symbol, len(s))
+	for i, ch := range s {
+		switch ch {
+		case '0':
+			out[i] = Sym0
+		case '1':
+			out[i] = Sym1
+		default:
+			return nil, fmt.Errorf("automata: bad symbol %q", ch)
+		}
+	}
+	return out, nil
+}
+
+// StringEncodingSchemas returns the relational schema (P, P̄, F) of the
+// Theorem 3.1(3) reduction: unary P and P̄ mark the positions carrying
+// 1 and 0 respectively, and binary F is the successor function over
+// positions, with a self-loop (k,k) at the final position and a tuple
+// (0, i) at the initial position 0.
+func StringEncodingSchemas() (p, pbar, f *relation.Schema) {
+	return relation.NewSchema("P", relation.Attr("pos")),
+		relation.NewSchema("Pbar", relation.Attr("pos")),
+		relation.NewSchema("F", relation.Attr("from"), relation.Attr("to"))
+}
+
+// EncodeString produces the (P, P̄, F) instance representing w, using
+// positions "0", "1", …: position i < len(w) carries symbol w[i] and
+// has successor F(i, i+1); position len(w) is the end-of-input position
+// carrying the unique self-loop F(k, k) that the reduction's
+// well-formedness constraints require (a head "past the input" sits on
+// it, matching the ε-transitions via α_i(x) = F(x, x)). The empty
+// string encodes as the single end position 0 with its self-loop.
+func EncodeString(w []Symbol) *relation.Database {
+	p, pbar, f := StringEncodingSchemas()
+	d := relation.NewDatabase(p, pbar, f)
+	pos := func(i int) string { return fmt.Sprintf("%d", i) }
+	end := len(w)
+	for i, s := range w {
+		if s == Sym1 {
+			d.MustAdd("P", pos(i))
+		} else {
+			d.MustAdd("Pbar", pos(i))
+		}
+		d.MustAdd("F", pos(i), pos(i+1))
+	}
+	d.MustAdd("F", pos(end), pos(end))
+	return d
+}

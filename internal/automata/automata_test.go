@@ -1,0 +1,180 @@
+package automata
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// firstIsOne accepts strings whose first symbol is 1; head 2 is parked
+// at position 0, so it reads the same symbol as head 1 initially.
+func firstIsOne() *DFA {
+	a := New(2, 0, 1)
+	a.AddWild2(0, Sym1, 1, Advance)
+	return a
+}
+
+// evenLength accepts strings of even length by toggling between two
+// states as head 1 advances, accepting at end-of-input in the even
+// state.
+func evenLength() *DFA {
+	a := New(3, 0, 2)
+	for _, s := range []Symbol{Sym0, Sym1} {
+		a.AddWild2(0, s, 1, Advance)
+		a.AddWild2(1, s, 0, Advance)
+	}
+	a.AddWild2(0, Epsilon, 2, Stay)
+	return a
+}
+
+func w(t *testing.T, s string) []Symbol {
+	t.Helper()
+	out, err := Word(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestFirstIsOne(t *testing.T) {
+	a := firstIsOne()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Accepts(w(t, "1")) || !a.Accepts(w(t, "10")) {
+		t.Fatal("should accept strings starting with 1")
+	}
+	if a.Accepts(w(t, "0")) || a.Accepts(w(t, "01")) || a.Accepts(nil) {
+		t.Fatal("should reject strings not starting with 1")
+	}
+}
+
+func TestEvenLength(t *testing.T) {
+	a := evenLength()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]bool{"": true, "0": false, "01": true, "110": false, "1010": true}
+	for s, want := range cases {
+		if got := a.Accepts(w(t, s)); got != want {
+			t.Fatalf("Accepts(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestTwoHeadComparison(t *testing.T) {
+	// Accept strings where w[1] equals w[0], comparing with two heads:
+	// head 1 advances once (any symbol), then both heads must read the
+	// same symbol.
+	a := New(3, 0, 2)
+	for _, s1 := range []Symbol{Sym0, Sym1} {
+		for _, s2 := range []Symbol{Sym0, Sym1} {
+			a.Add(0, s1, s2, 1, Advance, Stay)
+		}
+	}
+	a.Add(1, Sym0, Sym0, 2, Stay, Stay)
+	a.Add(1, Sym1, Sym1, 2, Stay, Stay)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Accepts(w(t, "00")) || !a.Accepts(w(t, "11")) {
+		t.Fatal("equal first two symbols should accept")
+	}
+	if a.Accepts(w(t, "01")) || a.Accepts(w(t, "10")) || a.Accepts(w(t, "1")) {
+		t.Fatal("unequal or short inputs should reject")
+	}
+}
+
+func TestEndOfInputEpsilon(t *testing.T) {
+	// ε fires only past the input: an automaton that accepts exactly the
+	// empty string.
+	a := New(2, 0, 1)
+	a.Add(0, Epsilon, Epsilon, 1, Stay, Stay)
+	if !a.Accepts(nil) {
+		t.Fatal("empty string should accept")
+	}
+	if a.Accepts(w(t, "0")) || a.Accepts(w(t, "1")) {
+		t.Fatal("ε must not fire while symbols remain under the heads")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	// A self-looping stay-transition must not hang.
+	a := New(2, 0, 1)
+	for _, s1 := range []Symbol{Sym0, Sym1} {
+		for _, s2 := range []Symbol{Sym0, Sym1} {
+			a.Add(0, s1, s2, 0, Stay, Stay)
+		}
+	}
+	if a.Accepts(w(t, "0")) {
+		t.Fatal("looping automaton must reject")
+	}
+}
+
+func TestEmptyUpTo(t *testing.T) {
+	a := firstIsOne()
+	acc, empty := a.EmptyUpTo(3)
+	if empty {
+		t.Fatal("language is nonempty")
+	}
+	if !a.Accepts(acc) {
+		t.Fatalf("returned word %v not accepted", acc)
+	}
+	// Automaton with unreachable accept state.
+	dead := New(2, 0, 1)
+	if _, empty := dead.EmptyUpTo(4); !empty {
+		t.Fatal("dead automaton must be empty up to bound")
+	}
+}
+
+func TestValidateRanges(t *testing.T) {
+	b := New(1, 0, 5)
+	if b.Validate() == nil {
+		t.Fatal("out-of-range accept state accepted")
+	}
+	c := New(2, 0, 1)
+	c.Add(0, Sym0, Sym0, 7, Stay, Stay)
+	if c.Validate() == nil {
+		t.Fatal("out-of-range transition accepted")
+	}
+}
+
+func TestWordErrors(t *testing.T) {
+	if _, err := Word("012"); err == nil {
+		t.Fatal("bad symbol accepted")
+	}
+	if s, err := Word("01"); err != nil || s[0] != Sym0 || s[1] != Sym1 {
+		t.Fatal("Word decoding wrong")
+	}
+}
+
+func TestSymbolString(t *testing.T) {
+	if Sym0.String() != "0" || Sym1.String() != "1" || Epsilon.String() != "ε" {
+		t.Fatal("Symbol String wrong")
+	}
+}
+
+func TestEncodeString(t *testing.T) {
+	d := EncodeString(w(t, "101"))
+	check := func(rel string, vals ...string) {
+		t.Helper()
+		if !d.Contains(rel, relation.T(vals...)) {
+			t.Fatalf("missing %s%v in\n%v", rel, vals, d)
+		}
+	}
+	check("P", "0")
+	check("Pbar", "1")
+	check("P", "2")
+	check("F", "0", "1")
+	check("F", "1", "2")
+	check("F", "2", "3")
+	check("F", "3", "3")
+	if d.Instance("P").Len() != 2 || d.Instance("Pbar").Len() != 1 || d.Instance("F").Len() != 4 {
+		t.Fatalf("unexpected encoding sizes:\n%v", d)
+	}
+	// Empty string: one end position with a self-loop.
+	e := EncodeString(nil)
+	if !e.Contains("F", relation.T("0", "0")) || e.Instance("P").Len() != 0 {
+		t.Fatalf("empty-string encoding wrong:\n%v", e)
+	}
+}

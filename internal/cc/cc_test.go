@@ -1,0 +1,289 @@
+package cc
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/qlang"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+func v(n string) query.Term { return query.Var(n) }
+func c(s string) query.Term { return query.C(s) }
+
+// crmSchemas builds the Example 1.1 schemas: master DCust(cid,name,ac,phn),
+// database Cust(cid,name,cc,ac,phn) and Supt(eid,dept,cid).
+func crmSchemas() (d *relation.Database, dm *relation.Database) {
+	cust := relation.NewSchema("Cust",
+		relation.Attr("cid"), relation.Attr("name"), relation.Attr("cc"),
+		relation.Attr("ac"), relation.Attr("phn"))
+	supt := relation.NewSchema("Supt",
+		relation.Attr("eid"), relation.Attr("dept"), relation.Attr("cid"))
+	dcust := relation.NewSchema("DCust",
+		relation.Attr("cid"), relation.Attr("name"), relation.Attr("ac"), relation.Attr("phn"))
+	return relation.NewDatabase(cust, supt), relation.NewDatabase(dcust)
+}
+
+// phi0 is the CC of Example 2.1: all supported domestic customers are
+// bounded by the master relation DCust.
+func phi0() *Constraint {
+	q := cq.New("phi0", []query.Term{v("c")},
+		[]query.RelAtom{
+			query.Atom("Cust", v("c"), v("n"), v("cc"), v("a"), v("p")),
+			query.Atom("Supt", v("e"), v("d"), v("c")),
+		},
+		query.Eq(v("cc"), c("01")))
+	return FromCQ("phi0", q, Proj("DCust", 0))
+}
+
+func TestPhi0Satisfaction(t *testing.T) {
+	d, dm := crmSchemas()
+	dm.MustAdd("DCust", "c1", "Ann", "908", "5550001")
+	d.MustAdd("Cust", "c1", "Ann", "01", "908", "5550001")
+	d.MustAdd("Cust", "c9", "Bob", "44", "020", "5550002") // international
+	d.MustAdd("Supt", "e0", "sales", "c1")
+	d.MustAdd("Supt", "e0", "sales", "c9")
+
+	phi := phi0()
+	if err := phi.Validate(dm); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := phi.Satisfied(d, dm)
+	if err != nil || !ok {
+		t.Fatalf("phi0 should hold: ok=%v err=%v", ok, err)
+	}
+	// A supported domestic customer missing from DCust violates it.
+	d.MustAdd("Cust", "c2", "Eve", "01", "973", "5550003")
+	d.MustAdd("Supt", "e1", "sales", "c2")
+	tup, viol, err := phi.Violation(d, dm)
+	if err != nil || !viol {
+		t.Fatalf("phi0 should be violated: %v %v", viol, err)
+	}
+	if tup[0] != "c2" {
+		t.Fatalf("violation witness = %v", tup)
+	}
+}
+
+func TestEmptySetConstraint(t *testing.T) {
+	d, dm := crmSchemas()
+	d.MustAdd("Supt", "e0", "sales", "c1")
+	// q(e) :- Supt(e, d, c), e = 'forbidden' ⊆ ∅.
+	q := cq.New("q", []query.Term{v("e")},
+		[]query.RelAtom{query.Atom("Supt", v("e"), v("d"), v("c"))},
+		query.Eq(v("e"), c("forbidden")))
+	con := FromCQ("noForbidden", q, EmptySet())
+	ok, err := con.Satisfied(d, dm)
+	if err != nil || !ok {
+		t.Fatalf("should hold: %v %v", ok, err)
+	}
+	d.MustAdd("Supt", "forbidden", "x", "y")
+	ok, _ = con.Satisfied(d, dm)
+	if ok {
+		t.Fatal("should be violated")
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	d, dm := crmSchemas()
+	dm.MustAdd("DCust", "c1", "Ann", "908", "5550001")
+	d.MustAdd("Cust", "c1", "Ann", "01", "908", "5550001")
+	d.MustAdd("Supt", "e0", "sales", "c1")
+
+	set := NewSet(phi0(), AtMostK("atmost2", "Supt", 3, []int{0}, 2, 2))
+	if err := set.Validate(dm); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := set.Satisfied(d, dm)
+	if err != nil || !ok {
+		t.Fatalf("set should hold: %v %v", ok, err)
+	}
+	if set.AllINDs() {
+		t.Fatal("set is not all-IND")
+	}
+	if !set.AllMonotone() {
+		t.Fatal("set is monotone")
+	}
+	if set.MaxLang() != qlang.CQ {
+		t.Fatalf("MaxLang = %v", set.MaxLang())
+	}
+	if set.Len() != 2 {
+		t.Fatal("Len wrong")
+	}
+}
+
+func TestAtMostK(t *testing.T) {
+	d, dm := crmSchemas()
+	con := AtMostK("k2", "Supt", 3, []int{0}, 2, 2)
+	d.MustAdd("Supt", "e0", "s", "c1")
+	d.MustAdd("Supt", "e0", "s", "c2")
+	ok, err := con.Satisfied(d, dm)
+	if err != nil || !ok {
+		t.Fatalf("two customers within k=2: %v %v", ok, err)
+	}
+	d.MustAdd("Supt", "e0", "t", "c3")
+	ok, _ = con.Satisfied(d, dm)
+	if ok {
+		t.Fatal("three customers must violate k=2")
+	}
+	// Another employee with few customers stays fine.
+	d2, _ := crmSchemas()
+	d2.MustAdd("Supt", "e1", "s", "c1")
+	d2.MustAdd("Supt", "e2", "s", "c1")
+	d2.MustAdd("Supt", "e3", "s", "c2")
+	ok, _ = con.Satisfied(d2, dm)
+	if !ok {
+		t.Fatal("distinct employees must not interact")
+	}
+}
+
+func TestSatisfiedDeltaAgreesWithFull(t *testing.T) {
+	d, dm := crmSchemas()
+	dm.MustAdd("DCust", "c1", "Ann", "908", "5550001")
+	d.MustAdd("Cust", "c1", "Ann", "01", "908", "5550001")
+	d.MustAdd("Supt", "e0", "sales", "c1")
+	set := NewSet(phi0(), AtMostK("k1", "Supt", 3, []int{0}, 2, 1))
+
+	deltas := []func(x *relation.Database){
+		func(x *relation.Database) { x.MustAdd("Supt", "e0", "s", "c7") }, // violates k1
+		func(x *relation.Database) { x.MustAdd("Supt", "e1", "s", "c1") }, // fine
+		func(x *relation.Database) { // violates phi0: new domestic customer not in DCust
+			x.MustAdd("Cust", "c5", "Eve", "01", "973", "5")
+			x.MustAdd("Supt", "e2", "s", "c5")
+		},
+	}
+	for i, mk := range deltas {
+		dd, _ := crmSchemas()
+		mk(dd)
+		fast, err := set.SatisfiedDelta(d, dd, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := set.Satisfied(d.Union(dd), dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast != slow {
+			t.Errorf("delta %d: fast=%v slow=%v", i, fast, slow)
+		}
+	}
+}
+
+func TestINDDetection(t *testing.T) {
+	_, dm := crmSchemas()
+	ind := NewIND("ind1", "Supt", []int{2}, 3, Proj("DCust", 0))
+	shape, ok := ind.IND()
+	if !ok || shape.Rel != "Supt" || len(shape.Cols) != 1 || shape.Cols[0] != 2 {
+		t.Fatalf("IND shape: %v %v", shape, ok)
+	}
+	if err := ind.Validate(dm); err != nil {
+		t.Fatal(err)
+	}
+	// phi0 has a join and a selection: not an IND.
+	if _, ok := phi0().IND(); ok {
+		t.Fatal("phi0 wrongly detected as IND")
+	}
+	// Selection via repeated variable is not an IND.
+	q := cq.New("q", []query.Term{v("x")},
+		[]query.RelAtom{query.Atom("Supt", v("x"), v("x"), v("z"))})
+	if _, ok := FromCQ("sel", q, Proj("DCust", 0)).IND(); ok {
+		t.Fatal("repeated-variable selection detected as IND")
+	}
+	// Constant selection is not an IND.
+	q2 := cq.New("q", []query.Term{v("x")},
+		[]query.RelAtom{query.Atom("Supt", v("x"), c("d"), v("z"))})
+	if _, ok := FromCQ("sel2", q2, Proj("DCust", 0)).IND(); ok {
+		t.Fatal("constant selection detected as IND")
+	}
+}
+
+func TestINDSemantics(t *testing.T) {
+	d, dm := crmSchemas()
+	dm.MustAdd("DCust", "c1", "Ann", "908", "1")
+	ind := NewIND("ind1", "Supt", []int{2}, 3, Proj("DCust", 0))
+	d.MustAdd("Supt", "e0", "s", "c1")
+	ok, err := ind.Satisfied(d, dm)
+	if err != nil || !ok {
+		t.Fatalf("IND should hold: %v %v", ok, err)
+	}
+	d.MustAdd("Supt", "e0", "s", "c9")
+	ok, _ = ind.Satisfied(d, dm)
+	if ok {
+		t.Fatal("IND should be violated")
+	}
+}
+
+func TestBoundedColumnsAndValueBound(t *testing.T) {
+	d, dm := crmSchemas()
+	_ = d
+	dm.MustAdd("DCust", "c1", "Ann", "908", "1")
+	dm.MustAdd("DCust", "c2", "Bob", "973", "2")
+	set := NewSet(
+		NewIND("i1", "Supt", []int{2}, 3, Proj("DCust", 0)),
+		NewIND("i2", "Supt", []int{0, 2}, 3, Proj("DCust", 1, 0)),
+	)
+	cols, ok := set.BoundedColumns()
+	if !ok {
+		t.Fatal("all-IND set not recognized")
+	}
+	if !cols["Supt"][0] || !cols["Supt"][2] || cols["Supt"][1] {
+		t.Fatalf("BoundedColumns: %v", cols)
+	}
+	// Column 2 is bounded by both INDs: i1 allows {c1,c2}; i2's second
+	// head position projects DCust col 0 = {c1,c2}; intersection {c1,c2}.
+	vals, found := set.INDValueBound(dm, "Supt", 2)
+	if !found || len(vals) != 2 || vals[0] != "c1" || vals[1] != "c2" {
+		t.Fatalf("INDValueBound: %v %v", vals, found)
+	}
+	// Column 0 bounded by i2 first position → names.
+	vals, found = set.INDValueBound(dm, "Supt", 0)
+	if !found || len(vals) != 2 || vals[0] != "Ann" {
+		t.Fatalf("INDValueBound col0: %v %v", vals, found)
+	}
+	if _, found := set.INDValueBound(dm, "Supt", 1); found {
+		t.Fatal("unbounded column reported bounded")
+	}
+	// A non-IND constraint disables the syntactic path.
+	set.Add(phi0())
+	if _, ok := set.BoundedColumns(); ok {
+		t.Fatal("non-IND set accepted by BoundedColumns")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	_, dm := crmSchemas()
+	badRel := FromCQ("b1", cq.New("q", []query.Term{v("x")},
+		[]query.RelAtom{query.Atom("Supt", v("x"), v("y"), v("z"))}), Proj("Nope", 0))
+	if badRel.Validate(dm) == nil {
+		t.Fatal("unknown master relation accepted")
+	}
+	badCol := FromCQ("b2", cq.New("q", []query.Term{v("x")},
+		[]query.RelAtom{query.Atom("Supt", v("x"), v("y"), v("z"))}), Proj("DCust", 9))
+	if badCol.Validate(dm) == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+	badArity := FromCQ("b3", cq.New("q", []query.Term{v("x"), v("y")},
+		[]query.RelAtom{query.Atom("Supt", v("x"), v("y"), v("z"))}), Proj("DCust", 0))
+	if badArity.Validate(dm) == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	dup := NewSet(phi0(), phi0())
+	if dup.Validate(dm) == nil {
+		t.Fatal("duplicate names accepted")
+	}
+}
+
+func TestNilSetBehaviour(t *testing.T) {
+	var s *Set
+	d, dm := crmSchemas()
+	ok, err := s.Satisfied(d, dm)
+	if err != nil || !ok {
+		t.Fatal("nil set must be satisfied")
+	}
+	if !s.AllINDs() || !s.AllMonotone() || s.Len() != 0 {
+		t.Fatal("nil set properties")
+	}
+	if s.String() != "{}" {
+		t.Fatal("nil set String")
+	}
+}

@@ -1,0 +1,295 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/fo"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// This file implements the integrity-constraint classes of Section 2.2
+// and their Proposition 2.1 translations into containment constraints:
+// (a) denial constraints → CCs in CQ, (b) conditional functional
+// dependencies (CFDs, subsuming traditional FDs) → CCs in CQ, and
+// (c) conditional inclusion dependencies (CINDs, subsuming traditional
+// INDs between database relations) → CCs in FO. All three need only an
+// empty master relation on the right-hand side (q ⊆ ∅).
+
+// PatternItem fixes one column to a constant, as in the φ(x̄)/ψ(ȳ)
+// pattern conjunctions of CFDs and CINDs.
+type PatternItem struct {
+	Col int
+	Val relation.Value
+}
+
+// matches reports whether the tuple observes all pattern items.
+func matches(t relation.Tuple, pat []PatternItem) bool {
+	for _, p := range pat {
+		if t[p.Col] != p.Val {
+			return false
+		}
+	}
+	return true
+}
+
+// Denial is a denial constraint ∀x̄ ¬(R₁(x̄₁) ∧ … ∧ R_k(x̄_k) ∧ φ):
+// the conjunction of atoms and built-in (in)equality predicates must
+// have no match.
+type Denial struct {
+	Name  string
+	Atoms []query.RelAtom
+	Conds []query.EqAtom
+}
+
+// Holds reports whether D satisfies the denial constraint.
+func (dn *Denial) Holds(d *relation.Database) bool {
+	q := cq.New(dn.Name, nil, dn.Atoms, dn.Conds...)
+	return !q.EvalBool(d)
+}
+
+// ToCC translates the denial constraint into a single CC in CQ with an
+// empty right-hand side (Proposition 2.1(a)).
+func (dn *Denial) ToCC() *Constraint {
+	q := cq.New(dn.Name, nil, dn.Atoms, dn.Conds...)
+	return FromCQ(dn.Name, q, EmptySet())
+}
+
+// FD is a traditional functional dependency R: X → Y over column
+// positions.
+type FD struct {
+	Name string
+	Rel  string
+	From []int // X
+	To   []int // Y
+}
+
+// Holds reports whether D satisfies the FD.
+func (f *FD) Holds(d *relation.Database) bool {
+	return f.AsCFD().Holds(d)
+}
+
+// AsCFD views the FD as a CFD with empty patterns.
+func (f *FD) AsCFD() *CFD {
+	return &CFD{Name: f.Name, Rel: f.Rel, From: f.From, To: f.To}
+}
+
+// ToCCs translates the FD into CCs in CQ (Proposition 2.1(b), pattern-
+// free case).
+func (f *FD) ToCCs(arity int) []*Constraint {
+	return f.AsCFD().ToCCs(arity)
+}
+
+// CFD is a conditional functional dependency (R: X → Y, (φ(X) ∥ ψ(Y))):
+// for all tuples t₁, t₂ matching the PatX pattern on X, if
+// t₁[X] = t₂[X] then t₁[Y] = t₂[Y], and both observe the PatY pattern.
+// Empty patterns recover the traditional FD.
+type CFD struct {
+	Name string
+	Rel  string
+	From []int // X column positions
+	To   []int // Y column positions
+	PatX []PatternItem
+	PatY []PatternItem
+}
+
+// Holds reports whether D satisfies the CFD.
+func (f *CFD) Holds(d *relation.Database) bool {
+	in := d.Instance(f.Rel)
+	if in == nil {
+		return true
+	}
+	ts := in.Tuples()
+	for _, t := range ts {
+		if !matches(t, f.PatX) {
+			continue
+		}
+		// Single-tuple condition: Y must observe the PatY constants.
+		if !matches(t, f.PatY) {
+			return false
+		}
+	}
+	for i, t1 := range ts {
+		if !matches(t1, f.PatX) {
+			continue
+		}
+		for _, t2 := range ts[i+1:] {
+			if !matches(t2, f.PatX) {
+				continue
+			}
+			if !t1.Project(f.From).Equal(t2.Project(f.From)) {
+				continue
+			}
+			if !t1.Project(f.To).Equal(t2.Project(f.To)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ToCCs translates the CFD into the two CC families of Proposition
+// 2.1(b): one pair-CC per Y column forbidding two pattern-matching
+// tuples that agree on X but differ on that Y column, plus one
+// single-tuple CC per constant in the PatY pattern.
+func (f *CFD) ToCCs(arity int) []*Constraint {
+	var out []*Constraint
+	mkArgs := func(prefix string) []query.Term {
+		args := make([]query.Term, arity)
+		for i := range args {
+			args[i] = query.Var(fmt.Sprintf("%s%d", prefix, i))
+		}
+		return args
+	}
+	patConds := func(args []query.Term, pat []PatternItem) []query.EqAtom {
+		var cs []query.EqAtom
+		for _, p := range pat {
+			cs = append(cs, query.Eq(args[p.Col], query.Const(p.Val)))
+		}
+		return cs
+	}
+	// Pair CCs: one per Y column.
+	for yi, ycol := range f.To {
+		a1, a2 := mkArgs("u"), mkArgs("v")
+		conds := append(patConds(a1, f.PatX), patConds(a2, f.PatX)...)
+		for _, x := range f.From {
+			conds = append(conds, query.Eq(a1[x], a2[x]))
+		}
+		conds = append(conds, query.Neq(a1[ycol], a2[ycol]))
+		q := cq.New(fmt.Sprintf("%s_pair_y%d", f.Name, yi), nil,
+			[]query.RelAtom{{Rel: f.Rel, Args: a1}, {Rel: f.Rel, Args: a2}}, conds...)
+		out = append(out, FromCQ(q.Name, q, EmptySet()))
+	}
+	// Single-tuple CCs: one per PatY constant.
+	for pi, p := range f.PatY {
+		a := mkArgs("w")
+		conds := patConds(a, f.PatX)
+		conds = append(conds, query.Neq(a[p.Col], query.Const(p.Val)))
+		q := cq.New(fmt.Sprintf("%s_pat_y%d", f.Name, pi), nil,
+			[]query.RelAtom{{Rel: f.Rel, Args: a}}, conds...)
+		out = append(out, FromCQ(q.Name, q, EmptySet()))
+	}
+	return out
+}
+
+// CIND is a conditional inclusion dependency
+// (R₁[X₁; Pat₁] ⊆ R₂[X₂; Pat₂]): for every R₁ tuple matching Pat₁
+// there is an R₂ tuple agreeing on the X columns and matching Pat₂.
+// Both relations belong to the database D (integrity constraints are
+// posed on D regardless of master data); empty patterns recover the
+// traditional IND R₁[X] ⊆ R₂[Y].
+type CIND struct {
+	Name string
+	R1   string
+	X1   []int
+	Pat1 []PatternItem
+	R2   string
+	X2   []int
+	Pat2 []PatternItem
+}
+
+// Holds reports whether D satisfies the CIND.
+func (ci *CIND) Holds(d *relation.Database) bool {
+	in1 := d.Instance(ci.R1)
+	if in1 == nil {
+		return true
+	}
+	in2 := d.Instance(ci.R2)
+	for _, t1 := range in1.Tuples() {
+		if !matches(t1, ci.Pat1) {
+			continue
+		}
+		found := false
+		if in2 != nil {
+			key := t1.Project(ci.X1)
+			for _, t2 := range in2.Tuples() {
+				if matches(t2, ci.Pat2) && t2.Project(ci.X2).Equal(key) {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// ToCC translates the CIND into a single CC in FO with an empty right-
+// hand side (Proposition 2.1(c)): the violation query
+// ∃ū (R₁(ū) ∧ Pat₁(ū) ∧ ∀w̄ (¬R₂(w̄) ∨ w̄[X₂] ≠ ū[X₁] ∨ ¬Pat₂(w̄)))
+// must be empty.
+func (ci *CIND) ToCC(arity1, arity2 int) *Constraint {
+	u := make([]query.Term, arity1)
+	uNames := make([]string, arity1)
+	for i := range u {
+		uNames[i] = fmt.Sprintf("u%d", i)
+		u[i] = query.Var(uNames[i])
+	}
+	w := make([]query.Term, arity2)
+	wNames := make([]string, arity2)
+	for i := range w {
+		wNames[i] = fmt.Sprintf("w%d", i)
+		w[i] = query.Var(wNames[i])
+	}
+	var inner []fo.Formula
+	inner = append(inner, fo.FNot(fo.FAtom(ci.R2, w...)))
+	for k, x2 := range ci.X2 {
+		inner = append(inner, fo.FNeq(w[x2], u[ci.X1[k]]))
+	}
+	for _, p := range ci.Pat2 {
+		inner = append(inner, fo.FNeq(w[p.Col], query.Const(p.Val)))
+	}
+	conj := []fo.Formula{fo.FAtom(ci.R1, u...)}
+	for _, p := range ci.Pat1 {
+		conj = append(conj, fo.FEq(u[p.Col], query.Const(p.Val)))
+	}
+	conj = append(conj, fo.FForall(wNames, fo.FOr(inner...)))
+	body := fo.FExists(uNames, fo.FAnd(conj...))
+	q := fo.NewQuery(ci.Name, nil, body)
+	return FromFO(ci.Name, q, EmptySet())
+}
+
+// AtMostK builds the "at most k" cardinality constraint of Example 2.1
+// (φ₁): no value combination of the key columns of rel may co-occur
+// with more than k distinct values in the counted column. It is a CC in
+// CQ with k+1 atoms sharing the key variables and pairwise-distinct
+// counted variables, with empty right-hand side.
+func AtMostK(name, rel string, arity int, keyCols []int, countedCol, k int) *Constraint {
+	isKey := make(map[int]bool, len(keyCols))
+	for _, c := range keyCols {
+		isKey[c] = true
+	}
+	keyVar := func(col int) query.Term { return query.Var(fmt.Sprintf("k%d", col)) }
+	var atoms []query.RelAtom
+	var conds []query.EqAtom
+	counted := make([]query.Term, k+1)
+	for i := 0; i <= k; i++ {
+		args := make([]query.Term, arity)
+		for col := 0; col < arity; col++ {
+			switch {
+			case col == countedCol:
+				counted[i] = query.Var(fmt.Sprintf("c%d", i))
+				args[col] = counted[i]
+			case isKey[col]:
+				args[col] = keyVar(col)
+			default:
+				args[col] = query.Var(fmt.Sprintf("z%d_%d", i, col))
+			}
+		}
+		atoms = append(atoms, query.RelAtom{Rel: rel, Args: args})
+	}
+	for i := 0; i <= k; i++ {
+		for j := i + 1; j <= k; j++ {
+			conds = append(conds, query.Neq(counted[i], counted[j]))
+		}
+	}
+	head := make([]query.Term, 0, len(keyCols))
+	for _, c := range keyCols {
+		head = append(head, keyVar(c))
+	}
+	q := cq.New(name, head, atoms, conds...)
+	return FromCQ(name, q, EmptySet())
+}

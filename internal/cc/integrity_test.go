@@ -1,0 +1,198 @@
+package cc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+func suptDB() (*relation.Database, *relation.Database) {
+	supt := relation.NewSchema("Supt",
+		relation.Attr("eid"), relation.Attr("dept"), relation.Attr("cid"))
+	emp := relation.NewSchema("Emp", relation.Attr("eid"), relation.Attr("dept"))
+	dm := relation.NewDatabase(relation.NewSchema("Empty", relation.Attr("x")))
+	return relation.NewDatabase(supt, emp), dm
+}
+
+func TestDenialTranslation(t *testing.T) {
+	d, dm := suptDB()
+	// Denial: no employee supports themselves: ¬(Supt(e, d, e)).
+	dn := &Denial{
+		Name:  "noSelf",
+		Atoms: []query.RelAtom{query.Atom("Supt", v("e"), v("d"), v("c"))},
+		Conds: []query.EqAtom{query.Eq(v("e"), v("c"))},
+	}
+	cc := dn.ToCC()
+	d.MustAdd("Supt", "e0", "s", "c1")
+	if !dn.Holds(d) {
+		t.Fatal("denial should hold")
+	}
+	if ok, _ := cc.Satisfied(d, dm); !ok {
+		t.Fatal("CC should hold")
+	}
+	d.MustAdd("Supt", "e1", "s", "e1")
+	if dn.Holds(d) {
+		t.Fatal("denial should fail")
+	}
+	if ok, _ := cc.Satisfied(d, dm); ok {
+		t.Fatal("CC should fail")
+	}
+}
+
+func TestFDTranslation(t *testing.T) {
+	d, dm := suptDB()
+	// FD: eid → dept, cid on Supt (Example 1.1).
+	fd := &FD{Name: "fd", Rel: "Supt", From: []int{0}, To: []int{1, 2}}
+	ccs := NewSet(fd.ToCCs(3)...)
+	d.MustAdd("Supt", "e0", "s", "c1")
+	d.MustAdd("Supt", "e1", "s", "c1")
+	if !fd.Holds(d) {
+		t.Fatal("FD should hold")
+	}
+	if ok, _ := ccs.Satisfied(d, dm); !ok {
+		t.Fatal("CCs should hold")
+	}
+	d.MustAdd("Supt", "e0", "s", "c2")
+	if fd.Holds(d) {
+		t.Fatal("FD should fail")
+	}
+	if ok, _ := ccs.Satisfied(d, dm); ok {
+		t.Fatal("CCs should fail")
+	}
+}
+
+func TestCFDTranslation(t *testing.T) {
+	d, dm := suptDB()
+	// CFD of Section 2.2: dept = "BU", eid → cid.
+	cfd := &CFD{
+		Name: "bu", Rel: "Supt",
+		From: []int{0}, To: []int{2},
+		PatX: []PatternItem{{Col: 1, Val: "BU"}},
+	}
+	ccs := NewSet(cfd.ToCCs(3)...)
+	d.MustAdd("Supt", "e0", "BU", "c1")
+	d.MustAdd("Supt", "e1", "sales", "c1")
+	d.MustAdd("Supt", "e1", "sales", "c2") // sales not constrained
+	if !cfd.Holds(d) {
+		t.Fatal("CFD should hold")
+	}
+	if ok, _ := ccs.Satisfied(d, dm); !ok {
+		t.Fatal("CCs should hold")
+	}
+	d.MustAdd("Supt", "e0", "BU", "c9")
+	if cfd.Holds(d) {
+		t.Fatal("CFD should fail")
+	}
+	if ok, _ := ccs.Satisfied(d, dm); ok {
+		t.Fatal("CCs should fail")
+	}
+}
+
+func TestCFDWithYPattern(t *testing.T) {
+	d, dm := suptDB()
+	// CFD: dept = "BU", eid → cid with pattern cid = "vip".
+	cfd := &CFD{
+		Name: "buVip", Rel: "Supt",
+		From: []int{0}, To: []int{2},
+		PatX: []PatternItem{{Col: 1, Val: "BU"}},
+		PatY: []PatternItem{{Col: 2, Val: "vip"}},
+	}
+	ccs := NewSet(cfd.ToCCs(3)...)
+	d.MustAdd("Supt", "e0", "BU", "vip")
+	if !cfd.Holds(d) {
+		t.Fatal("CFD should hold")
+	}
+	if ok, _ := ccs.Satisfied(d, dm); !ok {
+		t.Fatal("CCs should hold")
+	}
+	// Single tuple violating the Y pattern.
+	d.MustAdd("Supt", "e1", "BU", "other")
+	if cfd.Holds(d) {
+		t.Fatal("CFD should fail on Y-pattern")
+	}
+	if ok, _ := ccs.Satisfied(d, dm); ok {
+		t.Fatal("CCs should fail on Y-pattern")
+	}
+}
+
+func TestCINDTranslation(t *testing.T) {
+	d, dm := suptDB()
+	// CIND: Supt[eid; dept="BU"] ⊆ Emp[eid; dept="BU"].
+	ci := &CIND{
+		Name: "cind", R1: "Supt", X1: []int{0},
+		Pat1: []PatternItem{{Col: 1, Val: "BU"}},
+		R2:   "Emp", X2: []int{0},
+		Pat2: []PatternItem{{Col: 1, Val: "BU"}},
+	}
+	cc := ci.ToCC(3, 2)
+	d.MustAdd("Emp", "e0", "BU")
+	d.MustAdd("Supt", "e0", "BU", "c1")
+	d.MustAdd("Supt", "e9", "sales", "c1") // unconstrained pattern
+	if !ci.Holds(d) {
+		t.Fatal("CIND should hold")
+	}
+	if ok, err := cc.Satisfied(d, dm); err != nil || !ok {
+		t.Fatalf("CC should hold: %v %v", ok, err)
+	}
+	d.MustAdd("Supt", "e1", "BU", "c2") // e1 not a BU employee
+	if ci.Holds(d) {
+		t.Fatal("CIND should fail")
+	}
+	if ok, _ := cc.Satisfied(d, dm); ok {
+		t.Fatal("CC should fail")
+	}
+	// Matching eid but wrong pattern on R2.
+	d2, _ := suptDB()
+	d2.MustAdd("Emp", "e1", "sales")
+	d2.MustAdd("Supt", "e1", "BU", "c2")
+	if ci.Holds(d2) {
+		t.Fatal("CIND should fail on R2 pattern")
+	}
+	if ok, _ := cc.Satisfied(d2, dm); ok {
+		t.Fatal("CC should fail on R2 pattern")
+	}
+}
+
+// TestProposition21Randomized property-tests the Proposition 2.1
+// equivalences on random small instances: D ⊨ φ ⇔ (D, Dm) ⊨ CC(φ).
+func TestProposition21Randomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := []string{"a", "b", "c"}
+	fd := &FD{Name: "fd", Rel: "Supt", From: []int{0}, To: []int{2}}
+	fdCCs := NewSet(fd.ToCCs(3)...)
+	cfd := &CFD{Name: "cfd", Rel: "Supt", From: []int{0}, To: []int{2},
+		PatX: []PatternItem{{Col: 1, Val: "a"}}}
+	cfdCCs := NewSet(cfd.ToCCs(3)...)
+	ci := &CIND{Name: "ci", R1: "Supt", X1: []int{0}, R2: "Emp", X2: []int{0}}
+	ciCC := ci.ToCC(3, 2)
+	dn := &Denial{Name: "dn",
+		Atoms: []query.RelAtom{query.Atom("Supt", v("e"), v("d"), v("c"))},
+		Conds: []query.EqAtom{query.Eq(v("d"), c("c"))}}
+	dnCC := dn.ToCC()
+
+	for trial := 0; trial < 200; trial++ {
+		d, dm := suptDB()
+		n := rng.Intn(5)
+		for i := 0; i < n; i++ {
+			d.MustAdd("Supt", vals[rng.Intn(3)], vals[rng.Intn(3)], vals[rng.Intn(3)])
+		}
+		m := rng.Intn(3)
+		for i := 0; i < m; i++ {
+			d.MustAdd("Emp", vals[rng.Intn(3)], vals[rng.Intn(3)])
+		}
+		if got, _ := fdCCs.Satisfied(d, dm); got != fd.Holds(d) {
+			t.Fatalf("trial %d: FD mismatch on\n%v", trial, d)
+		}
+		if got, _ := cfdCCs.Satisfied(d, dm); got != cfd.Holds(d) {
+			t.Fatalf("trial %d: CFD mismatch on\n%v", trial, d)
+		}
+		if got, _ := ciCC.Satisfied(d, dm); got != ci.Holds(d) {
+			t.Fatalf("trial %d: CIND mismatch on\n%v", trial, d)
+		}
+		if got, _ := dnCC.Satisfied(d, dm); got != dn.Holds(d) {
+			t.Fatalf("trial %d: denial mismatch on\n%v", trial, d)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package cc
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/datalog"
+	"repro/internal/fo"
+	"repro/internal/qlang"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// edgeFixture: database E(a,b) with master bound M(x).
+func edgeFixture() (*relation.Database, *relation.Database) {
+	e := relation.NewSchema("E", relation.Attr("a"), relation.Attr("b"))
+	m := relation.NewSchema("M", relation.Attr("x"))
+	return relation.NewDatabase(e), relation.NewDatabase(m)
+}
+
+func TestUCQConstraint(t *testing.T) {
+	d, dm := edgeFixture()
+	dm.MustAdd("M", "ok")
+	u := cq.Union("u",
+		cq.New("u1", []query.Term{v("x")}, []query.RelAtom{query.Atom("E", v("x"), v("y"))}),
+		cq.New("u2", []query.Term{v("x")}, []query.RelAtom{query.Atom("E", v("y"), v("x"))}),
+	)
+	con := FromUCQ("u", u, Proj("M", 0))
+	if con.Q.Lang() != qlang.UCQ {
+		t.Fatal("lang wrong")
+	}
+	d.MustAdd("E", "ok", "ok")
+	if ok, err := con.Satisfied(d, dm); err != nil || !ok {
+		t.Fatalf("should hold: %v %v", ok, err)
+	}
+	d.MustAdd("E", "ok", "bad")
+	if ok, _ := con.Satisfied(d, dm); ok {
+		t.Fatal("second disjunct must catch the unbounded endpoint")
+	}
+	// Delta path agrees with full evaluation for UCQ constraints.
+	d2, _ := edgeFixture()
+	d2.MustAdd("E", "ok", "ok")
+	delta := relation.NewDatabase(relation.NewSchema("E", relation.Attr("a"), relation.Attr("b")))
+	delta.MustAdd("E", "bad", "ok")
+	fast, err := NewSet(con).SatisfiedDelta(d2, delta, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, _ := NewSet(con).Satisfied(d2.Union(delta), dm)
+	if fast != slow {
+		t.Fatalf("delta %v vs full %v", fast, slow)
+	}
+}
+
+func TestEFOConstraint(t *testing.T) {
+	d, dm := edgeFixture()
+	dm.MustAdd("M", "ok")
+	body := cq.Or(
+		cq.FAtom("E", v("x"), v("y")),
+		cq.FAtom("E", v("y"), v("x")),
+	)
+	con := FromEFO("e", cq.NewEFO("e", []query.Term{v("x")}, body), Proj("M", 0))
+	if con.Q.Lang() != qlang.EFO {
+		t.Fatal("lang wrong")
+	}
+	if got := len(con.Q.Tableaux()); got != 2 {
+		t.Fatalf("EFO expansion tableaux = %d", got)
+	}
+	d.MustAdd("E", "ok", "ok")
+	if ok, err := con.Satisfied(d, dm); err != nil || !ok {
+		t.Fatalf("should hold: %v %v", ok, err)
+	}
+	d.MustAdd("E", "stray", "ok")
+	if ok, _ := con.Satisfied(d, dm); ok {
+		t.Fatal("violation missed")
+	}
+}
+
+func TestFPConstraint(t *testing.T) {
+	d, dm := edgeFixture()
+	dm.MustAdd("M", "ok")
+	x, y, z := query.Var("X"), query.Var("Y"), query.Var("Z")
+	prog := datalog.NewProgram("tc", "Ends",
+		datalog.NewRule(query.Atom("TC", x, y), datalog.L("E", x, y)),
+		datalog.NewRule(query.Atom("TC", x, y), datalog.L("E", x, z), datalog.L("TC", z, y)),
+		datalog.NewRule(query.Atom("Ends", y), datalog.L("TC", x, y)),
+	)
+	con := FromFP("fp", prog, Proj("M", 0))
+	if con.Q.Lang() != qlang.FP || con.Q.Arity() != 1 {
+		t.Fatal("FP wrapper wrong")
+	}
+	// Reachable endpoints must all be the master value.
+	d.MustAdd("E", "a", "ok")
+	if ok, err := con.Satisfied(d, dm); err != nil || !ok {
+		t.Fatalf("should hold: %v %v", ok, err)
+	}
+	d.MustAdd("E", "ok", "b") // transitively reaches non-master endpoint
+	if ok, _ := con.Satisfied(d, dm); ok {
+		t.Fatal("transitive violation missed")
+	}
+	set := NewSet(con)
+	if set.AllMonotone() {
+		t.Fatal("FP constraints take the conservative non-monotone path")
+	}
+	if set.MaxLang() != qlang.FP {
+		t.Fatalf("MaxLang = %v", set.MaxLang())
+	}
+}
+
+func TestFOConstraintDirect(t *testing.T) {
+	d, dm := edgeFixture()
+	// Every edge must be symmetric: violation query in FO.
+	x, y := query.Var("x"), query.Var("y")
+	q := fo.NewQuery("sym", nil,
+		fo.FExists([]string{"x", "y"},
+			fo.FAnd(fo.FAtom("E", x, y), fo.FNot(fo.FAtom("E", y, x)))))
+	con := FromFO("sym", q, EmptySet())
+	d.MustAdd("E", "a", "b")
+	d.MustAdd("E", "b", "a")
+	if ok, err := con.Satisfied(d, dm); err != nil || !ok {
+		t.Fatalf("symmetric edges should hold: %v %v", ok, err)
+	}
+	d.MustAdd("E", "a", "c")
+	if ok, _ := con.Satisfied(d, dm); ok {
+		t.Fatal("asymmetry missed")
+	}
+}

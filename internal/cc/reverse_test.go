@@ -1,0 +1,98 @@
+package cc
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// reverseFixture: master ManageM must be reflected in Manage.
+func reverseFixture() (*relation.Database, *relation.Database, *Constraint) {
+	manage := relation.NewSchema("Manage", relation.Attr("a"), relation.Attr("b"))
+	managem := relation.NewSchema("ManageM", relation.Attr("a"), relation.Attr("b"))
+	d := relation.NewDatabase(manage)
+	dm := relation.NewDatabase(managem)
+	q := cq.New("q", []query.Term{v("x"), v("y")},
+		[]query.RelAtom{query.Atom("Manage", v("x"), v("y"))})
+	rc := ReverseFromCQ("rev", Proj("ManageM", 0, 1), q)
+	return d, dm, rc
+}
+
+func TestReverseConstraintSemantics(t *testing.T) {
+	d, dm, rc := reverseFixture()
+	if err := rc.Validate(dm); err != nil {
+		t.Fatal(err)
+	}
+	// Vacuously satisfied with empty master data.
+	ok, err := rc.Satisfied(d, dm)
+	if err != nil || !ok {
+		t.Fatalf("empty master: %v %v", ok, err)
+	}
+	dm.MustAdd("ManageM", "e1", "e0")
+	tup, viol, err := rc.Violation(d, dm)
+	if err != nil || !viol {
+		t.Fatalf("missing master edge must violate: %v %v", viol, err)
+	}
+	if !tup.Equal(relation.T("e1", "e0")) {
+		t.Fatalf("witness %v", tup)
+	}
+	d.MustAdd("Manage", "e1", "e0")
+	ok, _ = rc.Satisfied(d, dm)
+	if !ok {
+		t.Fatal("satisfied after adding the edge")
+	}
+}
+
+func TestReverseMonotoneDelta(t *testing.T) {
+	d, dm, rc := reverseFixture()
+	dm.MustAdd("ManageM", "e1", "e0")
+	d.MustAdd("Manage", "e1", "e0")
+	set := NewSet(rc)
+	delta := relation.NewDatabase(relation.NewSchema("Manage", relation.Attr("a"), relation.Attr("b")))
+	delta.MustAdd("Manage", "e9", "e8")
+	ok, err := set.SatisfiedDelta(d, delta, dm)
+	if err != nil || !ok {
+		t.Fatalf("reverse constraints are monotone in D: %v %v", ok, err)
+	}
+}
+
+func TestReverseExcludedFromINDPaths(t *testing.T) {
+	_, _, rc := reverseFixture()
+	if _, isIND := rc.IND(); isIND {
+		t.Fatal("reverse constraint detected as IND")
+	}
+	set := NewSet(rc)
+	if set.AllINDs() {
+		t.Fatal("reverse constraint must disable the IND fast path")
+	}
+	if _, ok := set.BoundedColumns(); ok {
+		t.Fatal("BoundedColumns must refuse reverse constraints")
+	}
+}
+
+func TestReverseValidateErrors(t *testing.T) {
+	_, dm, _ := reverseFixture()
+	q := cq.New("q", []query.Term{v("x")},
+		[]query.RelAtom{query.Atom("Manage", v("x"), v("y"))})
+	bad := ReverseFromCQ("bad", Proj("Nope", 0), q)
+	if bad.Validate(dm) == nil {
+		t.Fatal("unknown master relation accepted")
+	}
+	arity := ReverseFromCQ("bad2", Proj("ManageM", 0, 1), q)
+	if arity.Validate(dm) == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if ReverseFromCQ("v", EmptySet(), q).Validate(dm) != nil {
+		t.Fatal("vacuous reverse constraint rejected")
+	}
+}
+
+func TestReverseString(t *testing.T) {
+	_, _, rc := reverseFixture()
+	want := "rev: π[#0,#1](ManageM) ⊆ q(x, y) :- Manage(x, y)"
+	if rc.String() != want {
+		t.Fatalf("String = %q", rc.String())
+	}
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cc"
+	"repro/internal/qlang"
+	"repro/internal/relation"
+)
+
+// This file provides bounded semi-decision procedures. They serve two
+// roles: (a) the FO/FP rows of Tables I and II are undecidable
+// (Theorems 3.1 and 4.1), so bounded exploration is the best any
+// implementation can do — "incomplete" answers are sound and carry a
+// witness, while "complete" only holds up to the explored bound; and
+// (b) on the decidable fragments they double as brute-force oracles
+// against which the exact deciders are property-tested, because for
+// monotone languages Proposition 3.3 bounds counterexamples by
+// |T_Q| tuples over Adom, making the bounded search exact once the
+// bound covers the tableau size and enough fresh values are in the
+// pool.
+
+// BoundedOpts configures the bounded searches.
+type BoundedOpts struct {
+	// MaxAdd bounds how many tuples an extension may add.
+	MaxAdd int
+	// FreshValues is the number of fresh values added to the value
+	// pool beyond the constants of the problem.
+	FreshValues int
+	// MaxPool caps the candidate tuple pool; the search fails with an
+	// error when the schema/value combination exceeds it.
+	MaxPool int
+}
+
+func (o BoundedOpts) withDefaults() BoundedOpts {
+	if o.MaxAdd == 0 {
+		o.MaxAdd = 2
+	}
+	if o.FreshValues == 0 {
+		o.FreshValues = 2
+	}
+	if o.MaxPool == 0 {
+		o.MaxPool = 200000
+	}
+	return o
+}
+
+// BoundedRCDPResult is the outcome of a bounded completeness check.
+type BoundedRCDPResult struct {
+	// Incomplete reports that a partially closed extension changing
+	// Q(D) was found; this answer is sound unconditionally.
+	Incomplete bool
+	// Extension and NewTuple witness incompleteness.
+	Extension *relation.Database
+	NewTuple  relation.Tuple
+	// Explored is the number of candidate extensions checked.
+	Explored int
+	// MaxAdd echoes the bound: a non-Incomplete result only certifies
+	// completeness for extensions of at most this many pool tuples.
+	MaxAdd int
+}
+
+// BoundedRCDP searches for a partially closed extension of D by at most
+// MaxAdd tuples (over the constants of the problem plus FreshValues
+// fresh values) that changes the answer to Q. It accepts every query
+// and constraint language, including FO and FP.
+func BoundedRCDP(q qlang.Query, d, dm *relation.Database, v *cc.Set, opts BoundedOpts) (*BoundedRCDPResult, error) {
+	o := opts.withDefaults()
+	if ok, err := v.Satisfied(d, dm); err != nil {
+		return nil, err
+	} else if !ok {
+		return nil, fmt.Errorf("core: D is not partially closed with respect to (Dm, V)")
+	}
+	base, err := q.Eval(d)
+	if err != nil {
+		return nil, err
+	}
+	baseSet := make(map[string]bool, len(base))
+	for _, t := range base {
+		baseSet[t.Key()] = true
+	}
+
+	pool, err := tuplePool(d, dm, q, v, o)
+	if err != nil {
+		return nil, err
+	}
+	res := &BoundedRCDPResult{MaxAdd: o.MaxAdd}
+
+	// Enumerate subsets of the pool of size 1..MaxAdd.
+	var rec func(start int, cur *relation.Database, added int) (*BoundedRCDPResult, error)
+	rec = func(start int, cur *relation.Database, added int) (*BoundedRCDPResult, error) {
+		if added > 0 {
+			res.Explored++
+			if ok, err := v.Satisfied(cur, dm); err != nil {
+				return nil, err
+			} else if ok {
+				ans, err := q.Eval(cur)
+				if err != nil {
+					return nil, err
+				}
+				for _, t := range ans {
+					if !baseSet[t.Key()] {
+						ext := emptyDatabase(schemasOf(cur))
+						ext.UnionInto(cur)
+						return &BoundedRCDPResult{Incomplete: true, Extension: ext, NewTuple: t, Explored: res.Explored, MaxAdd: o.MaxAdd}, nil
+					}
+				}
+				if len(ans) != len(base) {
+					// An answer disappeared: impossible for monotone
+					// languages, possible for FO/FP.
+					ext := emptyDatabase(schemasOf(cur))
+					ext.UnionInto(cur)
+					return &BoundedRCDPResult{Incomplete: true, Extension: ext, Explored: res.Explored, MaxAdd: o.MaxAdd}, nil
+				}
+			}
+		}
+		if added == o.MaxAdd {
+			return nil, nil
+		}
+		for i := start; i < len(pool); i++ {
+			if d.Contains(pool[i].rel, pool[i].tup) {
+				continue
+			}
+			next := cur.Clone()
+			if err := next.Add(pool[i].rel, pool[i].tup); err != nil {
+				continue // finite-domain violation: not a legal tuple
+			}
+			r, err := rec(i+1, next, added+1)
+			if err != nil || r != nil {
+				return r, err
+			}
+		}
+		return nil, nil
+	}
+	r, err := rec(0, d.Clone(), 0)
+	if err != nil {
+		return nil, err
+	}
+	if r != nil {
+		return r, nil
+	}
+	return res, nil
+}
+
+type poolTuple struct {
+	rel string
+	tup relation.Tuple
+}
+
+// tuplePool enumerates all candidate tuples over the value pool for
+// every relation of D's schema.
+func tuplePool(d, dm *relation.Database, q qlang.Query, v *cc.Set, o BoundedOpts) ([]poolTuple, error) {
+	u := NewUniverse(d, dm, q, v, o.FreshValues)
+	vals := append(append([]relation.Value{}, u.Consts...), u.Fresh...)
+	if len(vals) == 0 {
+		vals = u.Fresh
+	}
+	var pool []poolTuple
+	for _, rel := range d.Relations() {
+		s := d.Schema(rel)
+		// Per-column candidate values (finite domains stay exact).
+		cols := make([][]relation.Value, s.Arity())
+		total := 1
+		for i, a := range s.Attrs {
+			if a.Domain.Kind == relation.Finite {
+				cols[i] = a.Domain.Values
+			} else {
+				cols[i] = vals
+			}
+			total *= len(cols[i])
+			if total > o.MaxPool {
+				return nil, fmt.Errorf("core: bounded search pool for %s exceeds %d tuples; reduce FreshValues or schema width", rel, o.MaxPool)
+			}
+		}
+		tup := make(relation.Tuple, s.Arity())
+		var gen func(i int)
+		gen = func(i int) {
+			if i == s.Arity() {
+				pool = append(pool, poolTuple{rel: rel, tup: tup.Clone()})
+				return
+			}
+			for _, val := range cols[i] {
+				tup[i] = val
+				gen(i + 1)
+			}
+		}
+		gen(0)
+	}
+	return pool, nil
+}
+
+// BoundedRCQPResult is the outcome of a bounded witness search for the
+// relatively complete query problem.
+type BoundedRCQPResult struct {
+	// Found reports that a candidate database of at most MaxTuples pool
+	// tuples was found that is partially closed and complete for Q up
+	// to extensions of MaxAdd tuples. For monotone languages with the
+	// bounds covering the tableau size this is a genuine witness; for
+	// FO/FP it is evidence up to the bound.
+	Found   bool
+	Witness *relation.Database
+	// Explored is the number of candidate databases checked.
+	Explored int
+}
+
+// BoundedRCQP searches for a database of at most maxTuples pool tuples
+// that is partially closed with respect to (Dm, V) and complete for Q
+// up to the BoundedRCDP bound. schemas describes the database schema R.
+func BoundedRCQP(q qlang.Query, dm *relation.Database, v *cc.Set, schemas map[string]*relation.Schema, maxTuples int, opts BoundedOpts) (*BoundedRCQPResult, error) {
+	o := opts.withDefaults()
+	empty := emptyDatabase(schemas)
+	pool, err := tuplePool(empty, dm, q, v, o)
+	if err != nil {
+		return nil, err
+	}
+	res := &BoundedRCQPResult{}
+	var rec func(start int, cur *relation.Database, added int) (*BoundedRCQPResult, error)
+	rec = func(start int, cur *relation.Database, added int) (*BoundedRCQPResult, error) {
+		res.Explored++
+		if ok, err := v.Satisfied(cur, dm); err != nil {
+			return nil, err
+		} else if ok {
+			r, err := BoundedRCDP(q, cur, dm, v, opts)
+			if err != nil {
+				return nil, err
+			}
+			if !r.Incomplete {
+				return &BoundedRCQPResult{Found: true, Witness: cur, Explored: res.Explored}, nil
+			}
+		}
+		if added == maxTuples {
+			return nil, nil
+		}
+		for i := start; i < len(pool); i++ {
+			next := cur.Clone()
+			if err := next.Add(pool[i].rel, pool[i].tup); err != nil {
+				continue
+			}
+			r, err := rec(i+1, next, added+1)
+			if err != nil || r != nil {
+				return r, err
+			}
+		}
+		return nil, nil
+	}
+	r, err := rec(0, empty, 0)
+	if err != nil {
+		return nil, err
+	}
+	if r != nil {
+		return r, nil
+	}
+	return res, nil
+}

@@ -1,0 +1,14 @@
+package core
+
+import (
+	"repro/internal/datalog"
+	"repro/internal/query"
+)
+
+// datalogTC builds a small FP program for the language guard tests.
+func datalogTC() *datalog.Program {
+	x, y, z := query.Var("x"), query.Var("y"), query.Var("z")
+	return datalog.NewProgram("tc", "TC",
+		datalog.NewRule(query.Atom("TC", x, y), datalog.L("Supt", x, y, z)),
+	)
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"repro/internal/cc"
+	"repro/internal/cq"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// indPruner prunes partial valuations template-by-template: as soon as
+// a tuple template of the tableau becomes fully ground, every IND of V
+// over its relation is checked on that single tuple (INDs are per-tuple
+// conditions, so a violated template can never be repaired by later
+// assignments). Non-IND constraints are ignored here — they are checked
+// exactly on complete valuations by the caller — so pruning is always
+// sound and, for all-IND V, also complete per-template.
+type indPruner struct {
+	// byRel maps a relation to its INDs' (columns, allowed tuple keys).
+	byRel map[string][]indCheck
+	// tplVars[i] is the number of distinct unassigned variables left in
+	// template i; tplOf maps a variable to the templates containing it.
+	templates []query.RelAtom
+	tplRemain []int
+	tplOf     map[string][]int
+}
+
+type indCheck struct {
+	cols    []int
+	allowed map[string]bool // nil means ⊆ ∅ (no tuple allowed)
+}
+
+// newINDPruner builds a pruner for the tableau; it returns nil when V
+// contains no INDs over the tableau's relations (pruning would be a
+// no-op).
+func newINDPruner(t *cq.Tableau, v *cc.Set, dm *relation.Database) *indPruner {
+	if v == nil {
+		return nil
+	}
+	byRel := make(map[string][]indCheck)
+	for _, c := range v.Constraints {
+		shape, ok := c.IND()
+		if !ok {
+			continue
+		}
+		chk := indCheck{cols: shape.Cols}
+		if !c.P.IsEmptySet() {
+			chk.allowed = c.P.Eval(dm)
+		}
+		byRel[shape.Rel] = append(byRel[shape.Rel], chk)
+	}
+	p := &indPruner{byRel: byRel, tplOf: make(map[string][]int)}
+	relevant := false
+	for i, tpl := range t.Templates {
+		p.templates = append(p.templates, tpl)
+		seen := make(map[string]bool)
+		for _, a := range tpl.Args {
+			if a.IsVar && !seen[a.Name] {
+				seen[a.Name] = true
+				p.tplOf[a.Name] = append(p.tplOf[a.Name], i)
+			}
+		}
+		p.tplRemain = append(p.tplRemain, len(seen))
+		if len(byRel[tpl.Rel]) > 0 {
+			relevant = true
+		}
+	}
+	if !relevant {
+		return nil
+	}
+	return p
+}
+
+// assign records that variable name was just bound and checks every
+// template that became ground. It reports false when a ground template
+// violates an IND. undo via unassign.
+func (p *indPruner) assign(name string, b query.Binding) bool {
+	ok := true
+	for _, ti := range p.tplOf[name] {
+		p.tplRemain[ti]--
+		if p.tplRemain[ti] == 0 && ok {
+			if !p.checkTemplate(ti, b) {
+				ok = false
+			}
+		}
+	}
+	if !ok {
+		// Caller will unassign; remain counters must stay consistent,
+		// so nothing else to do here.
+		return false
+	}
+	return true
+}
+
+// unassign reverses assign's bookkeeping.
+func (p *indPruner) unassign(name string) {
+	for _, ti := range p.tplOf[name] {
+		p.tplRemain[ti]++
+	}
+}
+
+// checkTemplate validates the ground template ti against the INDs of
+// its relation.
+func (p *indPruner) checkTemplate(ti int, b query.Binding) bool {
+	tpl := p.templates[ti]
+	checks := p.byRel[tpl.Rel]
+	if len(checks) == 0 {
+		return true
+	}
+	tup, ok := tpl.Ground(b)
+	if !ok {
+		return true
+	}
+	for _, chk := range checks {
+		if chk.allowed == nil {
+			return false // π(R) ⊆ ∅ forbids any R tuple
+		}
+		if !chk.allowed[tup.Project(chk.cols).Key()] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cc"
+	"repro/internal/qlang"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// RCDPResult is the outcome of a relatively-complete-database check.
+type RCDPResult struct {
+	// Complete reports D ∈ RCQ(Q, Dm, V).
+	Complete bool
+	// Extension, when incomplete, is a set Δ of tuples such that
+	// D ∪ Δ is partially closed and Q(D ∪ Δ) ≠ Q(D).
+	Extension *relation.Database
+	// NewTuple, when incomplete, is a tuple in Q(D ∪ Δ) \ Q(D).
+	NewTuple relation.Tuple
+	// Disjunct, when incomplete, is the index of the query disjunct
+	// that produced the counterexample.
+	Disjunct int
+	// Valuations is the number of candidate valuations inspected.
+	Valuations int
+}
+
+// Checker configures the decision procedures. The zero value uses
+// pruned backtracking with no budget.
+type Checker struct {
+	// Naive disables inequality pruning and fresh-value symmetry
+	// breaking in the valuation search (ablation ABL-1 of DESIGN.md).
+	Naive bool
+	// MaxValuations, when positive, caps the number of candidate
+	// valuations per disjunct; exceeding it returns ErrBudgetExceeded.
+	MaxValuations int
+}
+
+// RCDP decides the relatively complete database problem with the
+// default checker. See Checker.RCDP.
+func RCDP(q qlang.Query, d, dm *relation.Database, v *cc.Set) (*RCDPResult, error) {
+	return (&Checker{}).RCDP(q, d, dm, v)
+}
+
+// RCDP decides RCDP(L_Q, L_C) for monotone L_Q and L_C (CQ, UCQ, ∃FO⁺;
+// INDs are CQ constraints): given a query Q, master data Dm, a set V of
+// containment constraints and a partially closed database D, it reports
+// whether D is complete for Q relative to (Dm, V).
+//
+// The procedure implements the characterization of Proposition 3.3 and
+// Corollaries 3.4/3.5: D is incomplete iff some disjunct tableau
+// (T_i, u_i) has a valid valuation μ with values in Adom such that
+// μ(u_i) ∉ Q(D) and (D ∪ μ(T_i), Dm) ⊨ V; the returned witness is then
+// Δ = μ(T_i). Monotonicity of the languages makes the single-disjunct
+// witness exact (the Σ₂ᵖ algorithm of Theorem 3.6 guesses the same
+// certificate).
+//
+// It is an error to call RCDP with FO or FP queries or constraints
+// (Theorem 3.1: undecidable) — use BoundedRCDP for those — or with a D
+// that is not partially closed with respect to (Dm, V).
+func (ck *Checker) RCDP(q qlang.Query, d, dm *relation.Database, v *cc.Set) (*RCDPResult, error) {
+	if !q.Lang().Monotone() {
+		return nil, fmt.Errorf("core: RCDP is undecidable for L_Q = %v (Theorem 3.1); use BoundedRCDP", q.Lang())
+	}
+	if v != nil && !v.AllMonotone() {
+		return nil, fmt.Errorf("core: RCDP is undecidable for L_C = %v (Theorem 3.1); use BoundedRCDP", v.MaxLang())
+	}
+	if ok, err := v.Satisfied(d, dm); err != nil {
+		return nil, err
+	} else if !ok {
+		return nil, fmt.Errorf("core: D is not partially closed with respect to (Dm, V)")
+	}
+
+	answers, err := q.Eval(d)
+	if err != nil {
+		return nil, err
+	}
+	answerSet := make(map[string]bool, len(answers))
+	for _, t := range answers {
+		answerSet[t.Key()] = true
+	}
+
+	tableaux := q.Tableaux()
+	res := &RCDPResult{Complete: true}
+	if len(tableaux) == 0 {
+		// Unsatisfiable query: trivially complete.
+		return res, nil
+	}
+	schemas := schemasOf(d)
+	u := NewUniverse(d, dm, q, v, tableauVarCount(tableaux))
+
+	for di, t := range tableaux {
+		search, ok := newValuationSearch(u, t, schemas)
+		if !ok {
+			continue // disjunct unsatisfiable under domain constraints
+		}
+		search.naive = ck.Naive
+		search.budget = ck.MaxValuations
+		if !ck.Naive {
+			search.pruner = newINDPruner(t, v, dm)
+			search.applyCollapse(v)
+			search.applyRelevant(q, v, d, dm)
+		}
+		var found *RCDPResult
+		var cbErr error
+		err := search.run(func(b query.Binding) bool {
+			head, ok := t.HeadTuple(b)
+			if !ok {
+				return true
+			}
+			if answerSet[head.Key()] {
+				return true // already answered; cannot change Q(D)
+			}
+			delta, err := t.Apply(b, schemas)
+			if err != nil {
+				cbErr = err
+				return false
+			}
+			sat, err := v.SatisfiedDelta(d, delta, dm)
+			if err != nil {
+				cbErr = err
+				return false
+			}
+			if !sat {
+				return true // extension violates V; keep searching
+			}
+			found = &RCDPResult{
+				Complete:  false,
+				Extension: delta,
+				NewTuple:  head,
+				Disjunct:  di,
+			}
+			return false
+		})
+		res.Valuations += search.visited
+		if cbErr != nil {
+			return nil, cbErr
+		}
+		if err != nil {
+			return nil, err
+		}
+		if found != nil {
+			found.Valuations = res.Valuations
+			return found, nil
+		}
+	}
+	return res, nil
+}
+
+// IsComplete is a convenience wrapper returning only the verdict.
+func IsComplete(q qlang.Query, d, dm *relation.Database, v *cc.Set) (bool, error) {
+	r, err := RCDP(q, d, dm, v)
+	if err != nil {
+		return false, err
+	}
+	return r.Complete, nil
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"repro/internal/cc"
+	"repro/internal/relation"
+)
+
+// Relevant-value analysis, the second exact shrinking of the Adom
+// valuation space (the first being inert-variable collapsing).
+//
+// A counterexample valuation that assigns some variable a value v can
+// be rewritten — by renaming every occurrence of each "irrelevant"
+// value injectively to a distinct fresh value — into another
+// counterexample, because (a) the renaming preserves the valuation's
+// internal (in)equality pattern, so the query's inequality conditions
+// and any constraint match confined to the extension are unaffected,
+// and (b) a constraint query can compare an extension value against the
+// outside world only through constants, through database or master
+// values sitting at positions *linked* to the variable's positions
+// (sharing a constraint variable or compared by a constraint
+// (in)equality), or through the master projection bounding a constraint
+// head. Hence each variable's candidate set can be restricted to: the
+// constants of Q and V, the D values at the positions in its linked
+// group, the Dm values feeding its group through constraint heads, and
+// the fresh pool. Everything else is renameable away.
+type relevantValues struct {
+	// perPosition maps rel → col → sorted candidate values contributed
+	// by that position's linked group (database values + master feeds).
+	perPosition map[string]map[int][]relation.Value
+	// base holds the constants of Q and V.
+	base []relation.Value
+}
+
+// computeRelevantValues runs the linked-position analysis.
+func computeRelevantValues(q interface{ Constants() []relation.Value }, v *cc.Set, d, dm *relation.Database) *relevantValues {
+	// Union-find over positions.
+	type pos struct {
+		rel string
+		col int
+	}
+	parent := make(map[pos]pos)
+	var find func(p pos) pos
+	find = func(p pos) pos {
+		if pp, ok := parent[p]; ok && pp != p {
+			r := find(pp)
+			parent[p] = r
+			return r
+		}
+		if _, ok := parent[p]; !ok {
+			parent[p] = p
+		}
+		return p
+	}
+	union := func(a, b pos) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+
+	// headFeeds collects, per group root (resolved later), the master
+	// values feeding it through constraint heads.
+	type feed struct {
+		anchor pos
+		vals   []relation.Value
+	}
+	var feeds []feed
+
+	if v != nil {
+		for _, c := range v.Constraints {
+			for _, t := range c.Q.Tableaux() {
+				varPos := make(map[string][]pos)
+				for _, tpl := range t.Templates {
+					for col, a := range tpl.Args {
+						p := pos{tpl.Rel, col}
+						find(p)
+						if a.IsVar {
+							varPos[a.Name] = append(varPos[a.Name], p)
+						}
+					}
+				}
+				for _, ps := range varPos {
+					for i := 1; i < len(ps); i++ {
+						union(ps[0], ps[i])
+					}
+				}
+				for _, dq := range t.Diseqs {
+					if dq.L.IsVar && dq.R.IsVar {
+						lp, rp := varPos[dq.L.Name], varPos[dq.R.Name]
+						if len(lp) > 0 && len(rp) > 0 {
+							union(lp[0], rp[0])
+						}
+					}
+				}
+				// Constraint head variables: the master projection's
+				// column values can be compared against the group.
+				if !c.P.IsEmptySet() && dm != nil {
+					if in := dm.Instance(c.P.Rel); in != nil {
+						for hi, h := range t.Head {
+							if !h.IsVar || hi >= len(c.P.Cols) {
+								continue
+							}
+							ps := varPos[h.Name]
+							if len(ps) == 0 {
+								continue
+							}
+							seen := make(map[relation.Value]bool)
+							for _, tu := range in.Project([]int{c.P.Cols[hi]}) {
+								seen[tu[0]] = true
+							}
+							feeds = append(feeds, feed{anchor: ps[0], vals: relation.SortedValues(seen)})
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Collect database values per group.
+	groupVals := make(map[pos]map[relation.Value]bool)
+	addVal := func(root pos, val relation.Value) {
+		m := groupVals[root]
+		if m == nil {
+			m = make(map[relation.Value]bool)
+			groupVals[root] = m
+		}
+		m[val] = true
+	}
+	if d != nil {
+		for _, rel := range d.Relations() {
+			in := d.Instance(rel)
+			for col := 0; col < in.Schema.Arity(); col++ {
+				p := pos{rel, col}
+				if _, tracked := parent[p]; !tracked {
+					continue // position untouched by V: no outside comparisons
+				}
+				root := find(p)
+				for _, t := range in.Tuples() {
+					addVal(root, t[col])
+				}
+			}
+		}
+	}
+	for _, f := range feeds {
+		root := find(f.anchor)
+		for _, val := range f.vals {
+			addVal(root, val)
+		}
+	}
+
+	rv := &relevantValues{perPosition: make(map[string]map[int][]relation.Value)}
+	for p := range parent {
+		root := find(p)
+		m := rv.perPosition[p.rel]
+		if m == nil {
+			m = make(map[int][]relation.Value)
+			rv.perPosition[p.rel] = m
+		}
+		m[p.col] = relation.SortedValues(groupVals[root])
+	}
+	seen := make(map[relation.Value]bool)
+	if q != nil {
+		for _, val := range q.Constants() {
+			seen[val] = true
+		}
+	}
+	if v != nil {
+		for _, val := range v.Constants() {
+			seen[val] = true
+		}
+	}
+	rv.base = relation.SortedValues(seen)
+	return rv
+}
+
+// candidatesFor returns the restricted candidate set (without the fresh
+// pool, which the search appends with its symmetry prefix) for a
+// variable occurring at the given positions, or nil when the variable
+// must fall back to the full constant pool (never needed — the analysis
+// is total — but kept for safety).
+func (rv *relevantValues) candidatesFor(positions []varPosition) []relation.Value {
+	seen := make(map[relation.Value]bool, len(rv.base))
+	for _, v := range rv.base {
+		seen[v] = true
+	}
+	for _, p := range positions {
+		for _, v := range rv.perPosition[p.Rel][p.Col] {
+			seen[v] = true
+		}
+	}
+	return relation.SortedValues(seen)
+}
+
+// applyRelevant installs restricted candidate sets for every
+// non-collapsed, infinite-domain variable of the search.
+func (s *valuationSearch) applyRelevant(q interface{ Constants() []relation.Value }, v *cc.Set, d, dm *relation.Database) {
+	rv := computeRelevantValues(q, v, d, dm)
+	occ := allVarOccurrences(s.t)
+	if s.candidates == nil {
+		s.candidates = make(map[string][]relation.Value, len(s.t.Vars))
+	}
+	for _, name := range s.t.Vars {
+		if _, isCollapsed := s.collapsed[name]; isCollapsed {
+			continue
+		}
+		if s.doms[name].Kind == relation.Finite {
+			continue
+		}
+		s.candidates[name] = rv.candidatesFor(occ[name])
+	}
+}

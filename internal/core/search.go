@@ -1,0 +1,175 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/cq"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// ErrBudgetExceeded is returned when a search visits more candidate
+// valuations than the configured cap.
+var ErrBudgetExceeded = errors.New("core: valuation budget exceeded")
+
+// errStop signals early termination of a search from a callback.
+var errStop = errors.New("core: stop")
+
+// valuationSearch enumerates valid valuations μ of a tableau with
+// values in Adom, per the definition in Section 3.2: every variable y
+// draws from adom(y), and μ must observe the tableau's inequality
+// conditions (that is, Q(μ(T_Q)) is nonempty).
+//
+// Variables are assigned in template-major order (the variables of
+// template 1 first, and so on) so that tuple templates become ground as
+// early as possible; an optional IND pruner then rejects partial
+// valuations whose ground templates already violate an inclusion
+// dependency of V — the backtracking realization of the Σ₂ᵖ
+// certificate guess of Theorem 3.6.
+type valuationSearch struct {
+	u     *Universe
+	t     *cq.Tableau
+	doms  map[string]relation.Domain
+	order []string
+
+	// pruner, when non-nil, rejects partial valuations violating INDs.
+	// Pruning is an optimization only: callers re-check the full
+	// constraint set on complete valuations, so verdicts never depend
+	// on it (naive mode disables it entirely).
+	pruner *indPruner
+
+	// collapsed pins inert variables to dedicated fresh values (see
+	// inert.go); exact, disabled in naive mode.
+	collapsed map[string]relation.Value
+
+	// candidates restricts a variable's non-fresh candidate values to
+	// its relevant set (see relevant.go); exact, disabled in naive mode.
+	candidates map[string][]relation.Value
+
+	// naive disables inequality pruning, IND pruning, inert-variable
+	// collapsing and fresh-value symmetry breaking; kept for the
+	// ablation benchmarks.
+	naive bool
+
+	// budget, when positive, caps the number of complete candidate
+	// valuations visited.
+	budget  int
+	visited int
+}
+
+// newValuationSearch prepares a search over the tableau's variables.
+// Schema information is needed to determine each variable's admissible
+// domain; unsatisfiable tableaux yield ok=false.
+func newValuationSearch(u *Universe, t *cq.Tableau, schemas map[string]*relation.Schema) (*valuationSearch, bool) {
+	doms, ok := t.AsCQ().VarDomains(schemas)
+	if !ok {
+		return nil, false
+	}
+	// Template-major variable order.
+	var order []string
+	seen := make(map[string]bool, len(t.Vars))
+	for _, tpl := range t.Templates {
+		for _, a := range tpl.Args {
+			if a.IsVar && !seen[a.Name] {
+				seen[a.Name] = true
+				order = append(order, a.Name)
+			}
+		}
+	}
+	for _, v := range t.Vars {
+		if !seen[v] {
+			seen[v] = true
+			order = append(order, v)
+		}
+	}
+	return &valuationSearch{u: u, t: t, doms: doms, order: order}, true
+}
+
+// run enumerates valid valuations and invokes fn for each; fn returning
+// false stops the search. It returns ErrBudgetExceeded when the budget
+// runs out before the space is exhausted.
+func (s *valuationSearch) run(fn func(b query.Binding) bool) error {
+	vars := s.order
+	b := make(query.Binding, len(vars))
+	var rec func(i, freshUsed int) error
+	rec = func(i, freshUsed int) error {
+		if i == len(vars) {
+			s.visited++
+			if s.budget > 0 && s.visited > s.budget {
+				return ErrBudgetExceeded
+			}
+			if !s.t.DiseqsHold(b) {
+				return nil
+			}
+			if !fn(b) {
+				return errStop
+			}
+			return nil
+		}
+		v := vars[i]
+		dom := s.doms[v]
+		var candidates []relation.Value
+		if cv, ok := s.collapsed[v]; ok && !s.naive {
+			candidates = []relation.Value{cv}
+		} else if dom.Kind == relation.Finite {
+			candidates = dom.Values
+		} else {
+			candidates = s.u.Consts
+			if cs, ok := s.candidates[v]; ok && !s.naive {
+				candidates = cs
+			}
+			// Symmetry breaking: fresh values are interchangeable, so
+			// only the first unused one (plus already-used ones) need be
+			// tried. The naive mode tries the full fresh pool.
+			limit := freshUsed + 1
+			if s.naive || limit > len(s.u.Fresh) {
+				limit = len(s.u.Fresh)
+			}
+			candidates = append(append([]relation.Value{}, candidates...), s.u.Fresh[:limit]...)
+		}
+		for _, val := range candidates {
+			b[v] = val
+			if !s.naive {
+				ok := true
+				for _, dq := range s.t.Diseqs {
+					if holds, known := dq.Holds(b); known && !holds {
+						ok = false
+						break
+					}
+				}
+				if ok && s.pruner != nil && !s.pruner.assign(v, b) {
+					s.pruner.unassign(v)
+					ok = false
+				}
+				if !ok {
+					delete(b, v)
+					continue
+				}
+			}
+			nf := freshUsed
+			if s.u.IsFresh(val) && isNthFresh(s.u, val, freshUsed) {
+				nf++
+			}
+			err := rec(i+1, nf)
+			if !s.naive && s.pruner != nil {
+				s.pruner.unassign(v)
+			}
+			delete(b, v)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	err := rec(0, 0)
+	if err == errStop {
+		return nil
+	}
+	return err
+}
+
+// isNthFresh reports whether val is the first not-yet-used fresh value
+// (index freshUsed in the pool).
+func isNthFresh(u *Universe, val relation.Value, freshUsed int) bool {
+	return freshUsed < len(u.Fresh) && u.Fresh[freshUsed] == val
+}

@@ -1,0 +1,195 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// EFO is the body of a positive existential first-order query (∃FO⁺):
+// atomic formulas closed under ∧, ∨ and ∃ (Section 2.1(c)).
+type EFO interface {
+	isEFO()
+	String() string
+}
+
+// EAtom is a relation atom used as an ∃FO⁺ formula.
+type EAtom struct{ A query.RelAtom }
+
+// EEq is an (in)equality atom used as an ∃FO⁺ formula.
+type EEq struct{ E query.EqAtom }
+
+// EAnd is conjunction.
+type EAnd struct{ L, R EFO }
+
+// EOr is disjunction.
+type EOr struct{ L, R EFO }
+
+// EExists is existential quantification over one or more variables.
+type EExists struct {
+	Vars []string
+	F    EFO
+}
+
+func (EAtom) isEFO()   {}
+func (EEq) isEFO()     {}
+func (EAnd) isEFO()    {}
+func (EOr) isEFO()     {}
+func (EExists) isEFO() {}
+
+func (e EAtom) String() string { return e.A.String() }
+func (e EEq) String() string   { return e.E.String() }
+func (e EAnd) String() string  { return "(" + e.L.String() + " & " + e.R.String() + ")" }
+func (e EOr) String() string   { return "(" + e.L.String() + " | " + e.R.String() + ")" }
+func (e EExists) String() string {
+	return "exists " + strings.Join(e.Vars, ",") + " (" + e.F.String() + ")"
+}
+
+// And builds a right-nested conjunction of formulas.
+func And(fs ...EFO) EFO { return fold(fs, func(l, r EFO) EFO { return EAnd{l, r} }) }
+
+// Or builds a right-nested disjunction of formulas.
+func Or(fs ...EFO) EFO { return fold(fs, func(l, r EFO) EFO { return EOr{l, r} }) }
+
+func fold(fs []EFO, op func(l, r EFO) EFO) EFO {
+	if len(fs) == 0 {
+		panic("cq: empty connective")
+	}
+	out := fs[len(fs)-1]
+	for i := len(fs) - 2; i >= 0; i-- {
+		out = op(fs[i], out)
+	}
+	return out
+}
+
+// FAtom wraps a relation atom.
+func FAtom(rel string, args ...query.Term) EFO { return EAtom{query.Atom(rel, args...)} }
+
+// FEq wraps an equality.
+func FEq(l, r query.Term) EFO { return EEq{query.Eq(l, r)} }
+
+// FNeq wraps an inequality.
+func FNeq(l, r query.Term) EFO { return EEq{query.Neq(l, r)} }
+
+// Exists quantifies variables.
+func Exists(vars []string, f EFO) EFO { return EExists{Vars: vars, F: f} }
+
+// EFOQuery is a complete ∃FO⁺ query with an output head.
+type EFOQuery struct {
+	Name string
+	Head []query.Term
+	Body EFO
+}
+
+// NewEFO builds an ∃FO⁺ query.
+func NewEFO(name string, head []query.Term, body EFO) *EFOQuery {
+	if name == "" {
+		name = "Q"
+	}
+	return &EFOQuery{Name: name, Head: head, Body: body}
+}
+
+func (q *EFOQuery) String() string {
+	return query.FormatHead(q.Name, q.Head) + " :- " + q.Body.String()
+}
+
+// Arity returns the output arity.
+func (q *EFOQuery) Arity() int { return len(q.Head) }
+
+// conjunct accumulates one DNF branch.
+type conjunct struct {
+	atoms []query.RelAtom
+	conds []query.EqAtom
+}
+
+func (c conjunct) clone() conjunct {
+	return conjunct{
+		atoms: append([]query.RelAtom(nil), c.atoms...),
+		conds: append([]query.EqAtom(nil), c.conds...),
+	}
+}
+
+// ToUCQ expands the ∃FO⁺ query into an equivalent UCQ by distributing
+// ∧ over ∨ (DNF). The expansion may be exponential in the number of
+// disjunctions — exactly the blow-up the paper's Σ₂ᵖ/NEXPTIME upper
+// bound proofs avoid by guessing one branch; the deciders in
+// internal/core therefore work per-disjunct and never materialize more
+// branches than they visit. Bound variables are α-renamed apart so that
+// reused quantifier names cannot capture.
+func (q *EFOQuery) ToUCQ() *UCQ {
+	fresh := 0
+	free := make(map[string]bool)
+	for _, h := range q.Head {
+		if h.IsVar {
+			free[h.Name] = true
+		}
+	}
+	var expand func(f EFO, ren map[string]string) []conjunct
+	rename := func(t query.Term, ren map[string]string) query.Term {
+		if t.IsVar {
+			if nn, ok := ren[t.Name]; ok {
+				return query.Var(nn)
+			}
+		}
+		return t
+	}
+	expand = func(f EFO, ren map[string]string) []conjunct {
+		switch f := f.(type) {
+		case EAtom:
+			a := f.A.Clone()
+			for i := range a.Args {
+				a.Args[i] = rename(a.Args[i], ren)
+			}
+			return []conjunct{{atoms: []query.RelAtom{a}}}
+		case EEq:
+			e := f.E
+			e.L = rename(e.L, ren)
+			e.R = rename(e.R, ren)
+			return []conjunct{{conds: []query.EqAtom{e}}}
+		case EAnd:
+			ls := expand(f.L, ren)
+			rs := expand(f.R, ren)
+			out := make([]conjunct, 0, len(ls)*len(rs))
+			for _, l := range ls {
+				for _, r := range rs {
+					c := l.clone()
+					c.atoms = append(c.atoms, r.atoms...)
+					c.conds = append(c.conds, r.conds...)
+					out = append(out, c)
+				}
+			}
+			return out
+		case EOr:
+			return append(expand(f.L, ren), expand(f.R, ren)...)
+		case EExists:
+			sub := make(map[string]string, len(ren)+len(f.Vars))
+			for k, v := range ren {
+				sub[k] = v
+			}
+			for _, v := range f.Vars {
+				fresh++
+				sub[v] = fmt.Sprintf("%s#%d", v, fresh)
+			}
+			return expand(f.F, sub)
+		default:
+			panic(fmt.Sprintf("cq: unknown ∃FO⁺ node %T", f))
+		}
+	}
+	branches := expand(q.Body, map[string]string{})
+	u := &UCQ{Name: q.Name}
+	for i, c := range branches {
+		u.Disjuncts = append(u.Disjuncts, New(
+			fmt.Sprintf("%s_%d", q.Name, i+1),
+			append([]query.Term(nil), q.Head...),
+			c.atoms, c.conds...))
+	}
+	return u
+}
+
+// Eval evaluates the ∃FO⁺ query via its UCQ expansion.
+func (q *EFOQuery) Eval(d *relation.Database) []relation.Tuple { return q.ToUCQ().Eval(d) }
+
+// EvalBool evaluates a Boolean ∃FO⁺ query.
+func (q *EFOQuery) EvalBool(d *relation.Database) bool { return q.ToUCQ().EvalBool(d) }

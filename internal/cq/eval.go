@@ -1,0 +1,211 @@
+package cq
+
+import (
+	"sort"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Eval evaluates the CQ over the database and returns the set of answer
+// tuples in deterministic order. Boolean queries return either the empty
+// result or a single empty tuple.
+func (q *CQ) Eval(d *relation.Database) []relation.Tuple {
+	t, err := BuildTableau(q)
+	if err != nil {
+		return nil // unsatisfiable queries have empty answers everywhere
+	}
+	return t.Eval(d)
+}
+
+// EvalBool evaluates a Boolean query.
+func (q *CQ) EvalBool(d *relation.Database) bool {
+	return len(q.Eval(d)) > 0
+}
+
+// Eval evaluates the tableau over the database. Atoms are joined with a
+// greedy most-bound-first ordering; inequality conditions are checked as
+// soon as both sides are bound.
+func (t *Tableau) Eval(d *relation.Database) []relation.Tuple {
+	results := make(map[string]relation.Tuple)
+	t.EvalFunc(d, func(b query.Binding) bool {
+		if h, ok := t.HeadTuple(b); ok {
+			results[h.Key()] = h
+		}
+		return true // keep enumerating
+	})
+	out := make([]relation.Tuple, 0, len(results))
+	for _, tup := range results {
+		out = append(out, tup)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// EvalFunc enumerates all satisfying bindings of the tableau over d,
+// invoking fn for each; enumeration stops early when fn returns false.
+// The binding passed to fn is reused between calls — clone it to keep.
+func (t *Tableau) EvalFunc(d *relation.Database, fn func(query.Binding) bool) {
+	if len(t.Templates) == 0 {
+		// A query without relation atoms never arises from Validate'd
+		// input, but handle it as "true once" if diseqs hold on the
+		// empty binding (i.e. there are no variable diseqs).
+		b := query.Binding{}
+		if t.DiseqsHold(b) {
+			fn(b)
+		}
+		return
+	}
+	order := t.planOrder()
+	b := make(query.Binding, len(t.Vars))
+	t.join(d, order, 0, b, fn)
+}
+
+// planOrder greedily orders templates so that each step binds as few new
+// variables as possible (maximizing filter selectivity).
+func (t *Tableau) planOrder() []int {
+	n := len(t.Templates)
+	used := make([]bool, n)
+	bound := make(map[string]bool)
+	order := make([]int, 0, n)
+	for len(order) < n {
+		best, bestNew := -1, 1<<30
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			newVars := 0
+			for _, a := range t.Templates[i].Args {
+				if a.IsVar && !bound[a.Name] {
+					newVars++
+				}
+			}
+			if newVars < bestNew {
+				best, bestNew = i, newVars
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, a := range t.Templates[best].Args {
+			if a.IsVar {
+				bound[a.Name] = true
+			}
+		}
+	}
+	return order
+}
+
+// join recursively matches template order[k] against the database.
+func (t *Tableau) join(d *relation.Database, order []int, k int, b query.Binding, fn func(query.Binding) bool) bool {
+	if k == len(order) {
+		if !t.DiseqsHold(b) {
+			return true
+		}
+		return fn(b)
+	}
+	atom := t.Templates[order[k]]
+	in := d.Instance(atom.Rel)
+	if in == nil {
+		return true
+	}
+	for _, tup := range in.Tuples() {
+		newly := b.Match(atom, tup)
+		if newly == nil {
+			continue
+		}
+		ok := true
+		for _, dq := range t.Diseqs {
+			if holds, known := dq.Holds(b); known && !holds {
+				ok = false
+				break
+			}
+		}
+		cont := true
+		if ok {
+			cont = t.join(d, order, k+1, b, fn)
+		}
+		for _, v := range newly {
+			delete(b, v)
+		}
+		if !cont {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalFuncDelta enumerates bindings of the tableau over full = d ∪ delta
+// restricted to matches that use at least one delta tuple. It implements
+// one step of semi-naive (differential) evaluation: for each template
+// position j it enumerates joins where template j matches only delta and
+// the remaining templates match the full database, which covers every
+// new match exactly (possibly invoking fn more than once per binding).
+// fn returning false stops enumeration.
+func (t *Tableau) EvalFuncDelta(full, delta *relation.Database, fn func(query.Binding) bool) {
+	if len(t.Templates) == 0 {
+		return // no templates: answers cannot change
+	}
+	for j := range t.Templates {
+		b := make(query.Binding, len(t.Vars))
+		if !t.joinDelta(full, delta, j, b, fn) {
+			return
+		}
+	}
+}
+
+// joinDelta is join with template deltaAt reading from delta instead of
+// the full database. Template order is positional here (no planning):
+// delta instances are typically tiny, so the deltaAt template leads.
+func (t *Tableau) joinDelta(full, delta *relation.Database, deltaAt int, b query.Binding, fn func(query.Binding) bool) bool {
+	// Visit deltaAt first, then the others positionally.
+	idx := make([]int, 0, len(t.Templates))
+	idx = append(idx, deltaAt)
+	for i := range t.Templates {
+		if i != deltaAt {
+			idx = append(idx, i)
+		}
+	}
+	var rec func(pos int) bool
+	rec = func(pos int) bool {
+		if pos == len(idx) {
+			if !t.DiseqsHold(b) {
+				return true
+			}
+			return fn(b)
+		}
+		atom := t.Templates[idx[pos]]
+		src := full
+		if idx[pos] == deltaAt {
+			src = delta
+		}
+		in := src.Instance(atom.Rel)
+		if in == nil {
+			return true
+		}
+		for _, tup := range in.Tuples() {
+			newly := b.Match(atom, tup)
+			if newly == nil {
+				continue
+			}
+			ok := true
+			for _, dq := range t.Diseqs {
+				if holds, known := dq.Holds(b); known && !holds {
+					ok = false
+					break
+				}
+			}
+			cont := true
+			if ok {
+				cont = rec(pos + 1)
+			}
+			for _, v := range newly {
+				delete(b, v)
+			}
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}

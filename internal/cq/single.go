@@ -1,0 +1,112 @@
+package cq
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// SingleRelation implements the Lemma 3.2 encoding: it maps a
+// multi-relation schema R = (R₁, …, R_n) to a single relation schema R
+// whose attributes are the (uniformized) attributes of the R_i plus a
+// tag attribute A_R identifying the source relation, together with the
+// linear-time translations f_D on instances and f_Q on CQ queries such
+// that Q(D) = f_Q(Q)(f_D(D)).
+type SingleRelation struct {
+	// Schema is the combined single relation schema.
+	Schema *relation.Schema
+	// Tag maps each source relation name to its tag value.
+	Tag map[string]relation.Value
+	// Pad is the filler value used for positions beyond a source
+	// relation's arity.
+	Pad relation.Value
+
+	source map[string]*relation.Schema
+	width  int
+}
+
+// SingleRelationName is the name of the combined relation.
+const SingleRelationName = "_R"
+
+// NewSingleRelation builds the encoding for the given schemas. Attribute
+// domains in the combined schema are infinite: the encoding is a purely
+// syntactic device (per the lemma, attributes are uniformized by
+// renaming and padding).
+func NewSingleRelation(schemas map[string]*relation.Schema) *SingleRelation {
+	names := make([]string, 0, len(schemas))
+	width := 0
+	for name, s := range schemas {
+		names = append(names, name)
+		if s.Arity() > width {
+			width = s.Arity()
+		}
+	}
+	sort.Strings(names)
+	attrs := make([]relation.Attribute, width+1)
+	for i := 0; i < width; i++ {
+		attrs[i] = relation.Attr(fmt.Sprintf("a%d", i+1))
+	}
+	attrs[width] = relation.Attr("aR")
+	sr := &SingleRelation{
+		Schema: relation.NewSchema(SingleRelationName, attrs...),
+		Tag:    make(map[string]relation.Value, len(names)),
+		Pad:    "_pad",
+		source: schemas,
+		width:  width,
+	}
+	for _, n := range names {
+		sr.Tag[n] = relation.Value("_tag:" + n)
+	}
+	return sr
+}
+
+// EncodeDatabase is f_D: it folds every instance of the source database
+// into the single combined relation.
+func (sr *SingleRelation) EncodeDatabase(d *relation.Database) *relation.Database {
+	out := relation.NewDatabase(sr.Schema)
+	in := out.Instance(SingleRelationName)
+	for _, name := range d.Relations() {
+		tag, ok := sr.Tag[name]
+		if !ok {
+			continue
+		}
+		for _, t := range d.Instance(name).Tuples() {
+			nt := make(relation.Tuple, sr.width+1)
+			copy(nt, t)
+			for i := len(t); i < sr.width; i++ {
+				nt[i] = sr.Pad
+			}
+			nt[sr.width] = tag
+			in.MustAdd(nt)
+		}
+	}
+	return out
+}
+
+// EncodeQuery is f_Q: it rewrites every atom R_j(x̄) into an atom over
+// the combined relation with the tag constant in the A_R position and
+// the pad constant in the padded positions.
+func (sr *SingleRelation) EncodeQuery(q *CQ) (*CQ, error) {
+	cp := q.Clone()
+	for i, a := range cp.Atoms {
+		tag, ok := sr.Tag[a.Rel]
+		if !ok {
+			return nil, fmt.Errorf("cq: single-relation encoding: unknown relation %s", a.Rel)
+		}
+		args := make([]query.Term, sr.width+1)
+		copy(args, a.Args)
+		for j := len(a.Args); j < sr.width; j++ {
+			args[j] = query.Const(sr.Pad)
+		}
+		args[sr.width] = query.Const(tag)
+		cp.Atoms[i] = query.RelAtom{Rel: SingleRelationName, Args: args}
+	}
+	return cp, nil
+}
+
+// Schemas returns the schema map of the combined database.
+func (sr *SingleRelation) Schemas() map[string]*relation.Schema {
+	return map[string]*relation.Schema{SingleRelationName: sr.Schema}
+}

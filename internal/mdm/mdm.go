@@ -1,0 +1,284 @@
+// Package mdm provides the master-data-management scenario of the
+// paper's motivating Example 1.1 — the Customer Relationship
+// Management setting with master relation DCust and database relations
+// Cust, Supt and Manage — together with a deterministic synthetic data
+// generator with controllable sizes and completeness, the standard
+// containment constraints (φ₀, φ₁, the FDs of Examples 2.1/3.1), and
+// the queries Q₀–Q₃. The paper's enterprise data is hypothetical, so
+// this generator is the substitute workload for the examples and
+// benchmark harness (see DESIGN.md, substitutions).
+package mdm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cc"
+	"repro/internal/cq"
+	"repro/internal/datalog"
+	"repro/internal/qlang"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Schema names.
+const (
+	DCust  = "DCust"  // master: domestic customers (cid, name, ac, phn)
+	Cust   = "Cust"   // customers (cid, name, cc, ac, phn)
+	Supt   = "Supt"   // support (eid, dept, cid)
+	Manage = "Manage" // reporting edges (eid1, eid2)
+	// ManageM is the master reporting relation of Example 1.1.
+	ManageM = "ManageM"
+)
+
+// Schemas returns the database schemas R = (Cust, Supt, Manage).
+func Schemas() map[string]*relation.Schema {
+	return map[string]*relation.Schema{
+		Cust: relation.NewSchema(Cust,
+			relation.Attr("cid"), relation.Attr("name"), relation.Attr("cc"),
+			relation.Attr("ac"), relation.Attr("phn")),
+		Supt: relation.NewSchema(Supt,
+			relation.Attr("eid"), relation.Attr("dept"), relation.Attr("cid")),
+		Manage: relation.NewSchema(Manage,
+			relation.Attr("eid1"), relation.Attr("eid2")),
+	}
+}
+
+// MasterSchemas returns the master data schemas Rm = (DCust, ManageM).
+func MasterSchemas() map[string]*relation.Schema {
+	return map[string]*relation.Schema{
+		DCust: relation.NewSchema(DCust,
+			relation.Attr("cid"), relation.Attr("name"), relation.Attr("ac"), relation.Attr("phn")),
+		ManageM: relation.NewSchema(ManageM,
+			relation.Attr("eid1"), relation.Attr("eid2")),
+	}
+}
+
+// Config controls the synthetic scenario.
+type Config struct {
+	// Seed drives all pseudo-random choices.
+	Seed int64
+	// DomesticCustomers is the master customer count.
+	DomesticCustomers int
+	// InternationalCustomers are Cust rows not bounded by master data.
+	InternationalCustomers int
+	// Employees is the support-staff count.
+	Employees int
+	// SupportPerEmployee is the number of customers each employee
+	// supports (kept within MaxSupport).
+	SupportPerEmployee int
+	// MaxSupport is the cardinality bound k of constraint φ₁.
+	MaxSupport int
+	// Completeness in [0, 1] is the fraction of domestic customers
+	// present in Cust (and supportable): 1.0 yields databases complete
+	// for the domestic-customer queries.
+	Completeness float64
+	// ManageDepth is the height of the management chain in ManageM.
+	ManageDepth int
+}
+
+// DefaultConfig returns a small, fully complete scenario.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                   1,
+		DomesticCustomers:      20,
+		InternationalCustomers: 5,
+		Employees:              5,
+		SupportPerEmployee:     2,
+		MaxSupport:             3,
+		Completeness:           1.0,
+		ManageDepth:            4,
+	}
+}
+
+// Scenario is a generated CRM instance.
+type Scenario struct {
+	Config  Config
+	D       *relation.Database
+	Dm      *relation.Database
+	Schemas map[string]*relation.Schema
+}
+
+// Generate builds the scenario deterministically from the config.
+func Generate(cfg Config) *Scenario {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ss := Schemas()
+	ms := MasterSchemas()
+	d := relation.NewDatabase(ss[Cust], ss[Supt], ss[Manage])
+	dm := relation.NewDatabase(ms[DCust], ms[ManageM])
+
+	areaCodes := []string{"908", "973", "201", "609"}
+	cid := func(i int) string { return fmt.Sprintf("c%03d", i) }
+	eid := func(i int) string { return fmt.Sprintf("e%02d", i) }
+
+	// Master: all domestic customers.
+	for i := 0; i < cfg.DomesticCustomers; i++ {
+		dm.MustAdd(DCust, cid(i), fmt.Sprintf("name%d", i),
+			areaCodes[rng.Intn(len(areaCodes))], fmt.Sprintf("555%04d", i))
+	}
+	// Database customers: a Completeness fraction of the domestic ones
+	// (with master-consistent attributes) plus international ones.
+	var present []string
+	for i := 0; i < cfg.DomesticCustomers; i++ {
+		if rng.Float64() < cfg.Completeness {
+			mt := dm.Instance(DCust).Tuples()[0] // placeholder; replaced below
+			_ = mt
+			// Re-read the matching master tuple by key.
+			for _, t := range dm.Instance(DCust).Tuples() {
+				if string(t[0]) == cid(i) {
+					d.MustAdd(Cust, cid(i), string(t[1]), "01", string(t[2]), string(t[3]))
+					break
+				}
+			}
+			present = append(present, cid(i))
+		}
+	}
+	for i := 0; i < cfg.InternationalCustomers; i++ {
+		d.MustAdd(Cust, fmt.Sprintf("i%03d", i), fmt.Sprintf("iname%d", i),
+			fmt.Sprintf("%02d", 2+rng.Intn(80)), "020", fmt.Sprintf("777%04d", i))
+	}
+	// Support assignments over present customers.
+	if len(present) > 0 {
+		per := cfg.SupportPerEmployee
+		if per > cfg.MaxSupport {
+			per = cfg.MaxSupport
+		}
+		for e := 0; e < cfg.Employees; e++ {
+			seen := make(map[string]bool)
+			for s := 0; s < per; s++ {
+				c := present[rng.Intn(len(present))]
+				if seen[c] {
+					continue
+				}
+				seen[c] = true
+				d.MustAdd(Supt, eid(e), "sales", c)
+			}
+		}
+	}
+	// Management chain: e0 reports to e1 reports to … in ManageM; the
+	// database Manage starts with the direct edges only (so transitive
+	// queries are incomplete until closed).
+	for lvl := 0; lvl+1 <= cfg.ManageDepth; lvl++ {
+		dm.MustAdd(ManageM, eid(lvl+1), eid(lvl))
+		d.MustAdd(Manage, eid(lvl+1), eid(lvl))
+	}
+	return &Scenario{Config: cfg, D: d, Dm: dm, Schemas: ss}
+}
+
+// Phi0 is the CC φ₀ of Example 2.1: supported domestic customers are
+// bounded by the master relation, here over the (cid, ac) pair so that
+// area-code queries are meaningful.
+func Phi0() *cc.Constraint {
+	q := cq.New("phi0", []query.Term{query.Var("c"), query.Var("a")},
+		[]query.RelAtom{
+			query.Atom(Cust, query.Var("c"), query.Var("n"), query.Var("cc"),
+				query.Var("a"), query.Var("p")),
+			query.Atom(Supt, query.Var("e"), query.Var("d"), query.Var("c")),
+		},
+		query.Eq(query.Var("cc"), query.C("01")))
+	return cc.FromCQ("phi0", q, cc.Proj(DCust, 0, 2))
+}
+
+// Phi0Cid is the paper's original φ₀ bounding only supported domestic
+// customer ids by π_cid(DCust).
+func Phi0Cid() *cc.Constraint {
+	q := cq.New("phi0cid", []query.Term{query.Var("c")},
+		[]query.RelAtom{
+			query.Atom(Cust, query.Var("c"), query.Var("n"), query.Var("cc"),
+				query.Var("a"), query.Var("p")),
+			query.Atom(Supt, query.Var("e"), query.Var("d"), query.Var("c")),
+		},
+		query.Eq(query.Var("cc"), query.C("01")))
+	return cc.FromCQ("phi0cid", q, cc.Proj(DCust, 0))
+}
+
+// Phi1 is the CC φ₁ of Example 2.1: each employee supports at most k
+// customers.
+func Phi1(k int) *cc.Constraint {
+	return cc.AtMostK("phi1", Supt, 3, []int{0}, 2, k)
+}
+
+// SuptFD is the FD eid → dept, cid of Example 1.1 as CCs.
+func SuptFD() []*cc.Constraint {
+	fd := &cc.FD{Name: "suptfd", Rel: Supt, From: []int{0}, To: []int{1, 2}}
+	return fd.ToCCs(3)
+}
+
+// ManageIND bounds Manage by the master reporting relation ManageM.
+func ManageIND() *cc.Constraint {
+	return cc.NewIND("manageIND", Manage, []int{0, 1}, 2, cc.Proj(ManageM, 0, 1))
+}
+
+// CidIND bounds supported customer ids by master data as a plain IND
+// π_cid(Supt) ⊆ π_cid(DCust), the IND variant used by the L_C = INDs
+// rows of the benchmarks.
+func CidIND() *cc.Constraint {
+	return cc.NewIND("cidIND", Supt, []int{2}, 3, cc.Proj(DCust, 0))
+}
+
+// Q0 finds all customers with the given area code (query Q₀ of Section
+// 2.3): Q0(c) :- Cust(c, n, cc, a, p), Supt(e, d, c), cc = '01', a = ac.
+func Q0(ac string) qlang.Query {
+	q := cq.New("Q0", []query.Term{query.Var("c")},
+		[]query.RelAtom{
+			query.Atom(Cust, query.Var("c"), query.Var("n"), query.Var("cc"),
+				query.Var("a"), query.Var("p")),
+			query.Atom(Supt, query.Var("e"), query.Var("d"), query.Var("c")),
+		},
+		query.Eq(query.Var("cc"), query.C("01")),
+		query.Eq(query.Var("a"), query.C(ac)))
+	return qlang.FromCQ(q)
+}
+
+// Q1 finds the ac-area customers supported by the given employee
+// (query Q₁ of Example 1.1).
+func Q1(employee, ac string) qlang.Query {
+	q := cq.New("Q1", []query.Term{query.Var("c")},
+		[]query.RelAtom{
+			query.Atom(Supt, query.Var("e"), query.Var("d"), query.Var("c")),
+			query.Atom(Cust, query.Var("c"), query.Var("n"), query.Var("cc"),
+				query.Var("a"), query.Var("p")),
+		},
+		query.Eq(query.Var("e"), query.C(employee)),
+		query.Eq(query.Var("cc"), query.C("01")),
+		query.Eq(query.Var("a"), query.C(ac)))
+	return qlang.FromCQ(q)
+}
+
+// Q2 finds all customers supported by the given employee (query Q₂ of
+// Example 1.1).
+func Q2(employee string) qlang.Query {
+	q := cq.New("Q2", []query.Term{query.Var("c")},
+		[]query.RelAtom{query.Atom(Supt, query.Var("e"), query.Var("d"), query.Var("c"))},
+		query.Eq(query.Var("e"), query.C(employee)))
+	return qlang.FromCQ(q)
+}
+
+// Q3Datalog finds everyone above the given employee in the management
+// hierarchy, as an FP query (query Q₃ of Example 1.1).
+func Q3Datalog(employee string) qlang.Query {
+	x, y, z := query.Var("x"), query.Var("y"), query.Var("z")
+	prog := datalog.NewProgram("Q3", "Above",
+		datalog.NewRule(query.Atom("Up", x, y), datalog.L(Manage, x, y)),
+		datalog.NewRule(query.Atom("Up", x, y), datalog.L(Manage, x, z), datalog.L("Up", z, y)),
+		datalog.NewRule(query.Atom("Above", x), datalog.L("Up", x, query.C(employee))),
+	)
+	return qlang.FromFP(prog)
+}
+
+// Q3CQ is the k-hop conjunctive approximation of Q₃: managers exactly
+// k levels above the employee.
+func Q3CQ(employee string, k int) qlang.Query {
+	if k < 1 {
+		k = 1
+	}
+	cur := query.Term(query.C(employee))
+	var atoms []query.RelAtom
+	for i := 1; i <= k; i++ {
+		next := query.Var(fmt.Sprintf("m%d", i))
+		atoms = append(atoms, query.Atom(Manage, next, cur))
+		cur = next
+	}
+	q := cq.New("Q3cq", []query.Term{cur}, atoms)
+	return qlang.FromCQ(q)
+}

@@ -1,0 +1,158 @@
+// Package qlang provides a uniform Query interface over the five query
+// languages of Fan & Geerts — CQ, UCQ, ∃FO⁺, FO and FP — so that the
+// decision procedures (which are parameterized by L_Q and L_C) and the
+// containment constraints can handle any language through one API.
+package qlang
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/datalog"
+	"repro/internal/fo"
+	"repro/internal/relation"
+)
+
+// Lang identifies a query language.
+type Lang int
+
+// The query languages of the paper, ordered by expressiveness.
+const (
+	CQ Lang = iota
+	UCQ
+	EFO
+	FO
+	FP
+)
+
+func (l Lang) String() string {
+	switch l {
+	case CQ:
+		return "CQ"
+	case UCQ:
+		return "UCQ"
+	case EFO:
+		return "∃FO+"
+	case FO:
+		return "FO"
+	case FP:
+		return "FP"
+	default:
+		return fmt.Sprintf("Lang(%d)", int(l))
+	}
+}
+
+// Monotone reports whether queries of the language are preserved under
+// database extension. CQ, UCQ and ∃FO⁺ are monotone (their inequality
+// atoms compare within one match, never across the database); FO is
+// not; FP with inequality is grouped with FO on the conservative side,
+// matching the paper's decidability frontier.
+func (l Lang) Monotone() bool { return l == CQ || l == UCQ || l == EFO }
+
+// Query is the uniform query abstraction.
+type Query interface {
+	// Eval evaluates the query over a database.
+	Eval(d *relation.Database) ([]relation.Tuple, error)
+	// Arity is the output arity.
+	Arity() int
+	// Lang is the query language.
+	Lang() Lang
+	// Tableaux returns the CQ tableaux of the query (one per
+	// satisfiable disjunct) for the monotone languages and nil for
+	// FO/FP.
+	Tableaux() []*cq.Tableau
+	// Constants returns all constants occurring in the query.
+	Constants() []relation.Value
+	String() string
+}
+
+type cqQuery struct{ q *cq.CQ }
+
+type ucqQuery struct{ q *cq.UCQ }
+
+type efoQuery struct {
+	q   *cq.EFOQuery
+	ucq *cq.UCQ
+}
+
+type foQuery struct{ q *fo.Query }
+
+type fpQuery struct{ p *datalog.Program }
+
+// FromCQ wraps a conjunctive query.
+func FromCQ(q *cq.CQ) Query { return &cqQuery{q: q} }
+
+// FromUCQ wraps a union of conjunctive queries.
+func FromUCQ(q *cq.UCQ) Query { return &ucqQuery{q: q} }
+
+// FromEFO wraps an ∃FO⁺ query; its UCQ expansion is cached.
+func FromEFO(q *cq.EFOQuery) Query { return &efoQuery{q: q} }
+
+// FromFO wraps a first-order query.
+func FromFO(q *fo.Query) Query { return &foQuery{q: q} }
+
+// FromFP wraps a datalog program.
+func FromFP(p *datalog.Program) Query { return &fpQuery{p: p} }
+
+func (w *cqQuery) Eval(d *relation.Database) ([]relation.Tuple, error) { return w.q.Eval(d), nil }
+func (w *cqQuery) Arity() int                                          { return w.q.Arity() }
+func (w *cqQuery) Lang() Lang                                          { return CQ }
+func (w *cqQuery) Tableaux() []*cq.Tableau                             { return cq.FromCQ(w.q).Tableaux() }
+func (w *cqQuery) Constants() []relation.Value                         { return w.q.Constants() }
+func (w *cqQuery) String() string                                      { return w.q.String() }
+
+func (w *ucqQuery) Eval(d *relation.Database) ([]relation.Tuple, error) { return w.q.Eval(d), nil }
+func (w *ucqQuery) Arity() int                                          { return w.q.Arity() }
+func (w *ucqQuery) Lang() Lang                                          { return UCQ }
+func (w *ucqQuery) Tableaux() []*cq.Tableau                             { return w.q.Tableaux() }
+func (w *ucqQuery) Constants() []relation.Value                         { return w.q.Constants() }
+func (w *ucqQuery) String() string                                      { return w.q.String() }
+
+func (w *efoQuery) expand() *cq.UCQ {
+	if w.ucq == nil {
+		w.ucq = w.q.ToUCQ()
+	}
+	return w.ucq
+}
+
+func (w *efoQuery) Eval(d *relation.Database) ([]relation.Tuple, error) {
+	return w.expand().Eval(d), nil
+}
+func (w *efoQuery) Arity() int                  { return w.q.Arity() }
+func (w *efoQuery) Lang() Lang                  { return EFO }
+func (w *efoQuery) Tableaux() []*cq.Tableau     { return w.expand().Tableaux() }
+func (w *efoQuery) Constants() []relation.Value { return w.expand().Constants() }
+func (w *efoQuery) String() string              { return w.q.String() }
+
+func (w *foQuery) Eval(d *relation.Database) ([]relation.Tuple, error) { return w.q.Eval(d), nil }
+func (w *foQuery) Arity() int                                          { return w.q.Arity() }
+func (w *foQuery) Lang() Lang                                          { return FO }
+func (w *foQuery) Tableaux() []*cq.Tableau                             { return nil }
+func (w *foQuery) Constants() []relation.Value                         { return w.q.Constants() }
+func (w *foQuery) String() string                                      { return w.q.String() }
+
+func (w *fpQuery) Eval(d *relation.Database) ([]relation.Tuple, error) { return w.p.Eval(d) }
+func (w *fpQuery) Arity() int                                          { return w.p.OutputArity() }
+func (w *fpQuery) Lang() Lang                                          { return FP }
+func (w *fpQuery) Tableaux() []*cq.Tableau                             { return nil }
+func (w *fpQuery) Constants() []relation.Value                         { return w.p.Constants() }
+func (w *fpQuery) String() string                                      { return w.p.String() }
+
+// Underlying returns the wrapped concrete query object (a *cq.CQ,
+// *cq.UCQ, *cq.EFOQuery, *fo.Query or *datalog.Program).
+func Underlying(q Query) any {
+	switch w := q.(type) {
+	case *cqQuery:
+		return w.q
+	case *ucqQuery:
+		return w.q
+	case *efoQuery:
+		return w.q
+	case *foQuery:
+		return w.q
+	case *fpQuery:
+		return w.p
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,85 @@
+package qlang
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/datalog"
+	"repro/internal/fo"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+func edgeDB() *relation.Database {
+	e := relation.NewSchema("E", relation.Attr("a"), relation.Attr("b"))
+	d := relation.NewDatabase(e)
+	d.MustAdd("E", "1", "2")
+	d.MustAdd("E", "2", "3")
+	return d
+}
+
+func TestWrappers(t *testing.T) {
+	x, y, z := query.Var("x"), query.Var("y"), query.Var("z")
+	cqq := cq.New("q", []query.Term{x}, []query.RelAtom{query.Atom("E", x, y)})
+	ucq := cq.Union("u", cqq, cqq.Clone())
+	efo := cq.NewEFO("e", []query.Term{x}, cq.FAtom("E", x, y))
+	foq := fo.NewQuery("f", []query.Term{x},
+		fo.FExists([]string{"y"}, fo.FAtom("E", x, y)))
+	fpq := datalog.NewProgram("p", "TC",
+		datalog.NewRule(query.Atom("TC", x, y), datalog.L("E", x, y)),
+		datalog.NewRule(query.Atom("TC", x, y), datalog.L("E", x, z), datalog.L("TC", z, y)))
+
+	d := edgeDB()
+	cases := []struct {
+		q       Query
+		lang    Lang
+		arity   int
+		answers int
+		tabs    bool
+	}{
+		{FromCQ(cqq), CQ, 1, 2, true},
+		{FromUCQ(ucq), UCQ, 1, 2, true},
+		{FromEFO(efo), EFO, 1, 2, true},
+		{FromFO(foq), FO, 1, 2, false},
+		{FromFP(fpq), FP, 2, 3, false},
+	}
+	for _, c := range cases {
+		if c.q.Lang() != c.lang {
+			t.Fatalf("%s: lang %v", c.q, c.q.Lang())
+		}
+		if c.q.Arity() != c.arity {
+			t.Fatalf("%v: arity %d", c.lang, c.q.Arity())
+		}
+		got, err := c.q.Eval(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != c.answers {
+			t.Fatalf("%v: answers %v", c.lang, got)
+		}
+		if (c.q.Tableaux() != nil) != c.tabs {
+			t.Fatalf("%v: tableaux presence wrong", c.lang)
+		}
+		if c.q.String() == "" {
+			t.Fatalf("%v: empty String", c.lang)
+		}
+		if Underlying(c.q) == nil {
+			t.Fatalf("%v: Underlying nil", c.lang)
+		}
+	}
+}
+
+func TestLangProperties(t *testing.T) {
+	if !CQ.Monotone() || !UCQ.Monotone() || !EFO.Monotone() {
+		t.Fatal("positive languages must be monotone")
+	}
+	if FO.Monotone() || FP.Monotone() {
+		t.Fatal("FO/FP must not be monotone")
+	}
+	names := map[Lang]string{CQ: "CQ", UCQ: "UCQ", EFO: "∃FO+", FO: "FO", FP: "FP"}
+	for l, want := range names {
+		if l.String() != want {
+			t.Fatalf("Lang %d String %s", l, l.String())
+		}
+	}
+}

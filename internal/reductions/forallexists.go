@@ -1,0 +1,100 @@
+package reductions
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/qlang"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/sat"
+)
+
+// ForallExistsToRCDP implements the Σ₂ᵖ-hardness reduction of Theorem
+// 3.6: given a ∀X∃Y-3SAT instance φ (X = variables 1..nX, Y the rest),
+// it produces an RCDP(CQ, INDs) instance with *fixed* master data Dm
+// and fixed constraints V (only the query varies, as Corollary 3.7
+// requires) such that D is complete for Q relative to (Dm, V) iff
+// ∀X∃Y φ evaluates to true.
+//
+// The construction follows the proof: R₁ carries the Boolean domain,
+// R₂/R₃/R₄ the truth tables of ∨/∧/¬, R₅ the table I_c with
+// I_c(x, y, 1) iff x = 0 ∨ (x = 1 ∧ y = 1), and R₆ the switch relation
+// holding {(1)} in D but {(0), (1)} in Dm. The query returns the X
+// assignments for which the R₅ lookup succeeds: with R₆ = {(1)} those
+// whose clause value is 1 (∃Y succeeded), and in the extension with
+// R₆ ⊇ {(0)} all of them — so completeness is exactly ∀X∃Y φ.
+func ForallExistsToRCDP(phi *sat.CNF, nX int) (*RCDPInstance, error) {
+	if err := phi.Validate(); err != nil {
+		return nil, err
+	}
+	if nX < 0 || nX > phi.NumVars {
+		return nil, fmt.Errorf("reductions: nX=%d out of range", nX)
+	}
+
+	schemas := truthTableSchemas()
+	schemas = append(schemas,
+		relation.NewSchema("R5", relation.Attr("zp"), relation.Attr("z"), relation.Attr("o")),
+		relation.NewSchema("R6", relation.Attr("x")),
+	)
+	d := relation.NewDatabase(schemas...)
+	addTruthTables(d)
+	for _, t := range [][3]string{{"0", "0", "1"}, {"0", "1", "1"}, {"1", "0", "0"}, {"1", "1", "1"}} {
+		d.MustAdd("R5", t[0], t[1], t[2])
+	}
+	d.MustAdd("R6", "1")
+
+	mSchemas := masterTruthTableSchemas()
+	mSchemas = append(mSchemas,
+		relation.NewSchema("Rm5", relation.Attr("zp"), relation.Attr("z"), relation.Attr("o")),
+		relation.NewSchema("Rm6", relation.Attr("x")),
+	)
+	dm := relation.NewDatabase(mSchemas...)
+	addMasterTruthTables(dm)
+	for _, t := range [][3]string{{"0", "0", "1"}, {"0", "1", "1"}, {"1", "0", "0"}, {"1", "1", "1"}} {
+		dm.MustAdd("Rm5", t[0], t[1], t[2])
+	}
+	dm.MustAdd("Rm6", "0")
+	dm.MustAdd("Rm6", "1")
+
+	arities := map[string]int{"R1": 1, "R2": 3, "R3": 3, "R4": 2, "R5": 3, "R6": 1}
+	v := fullINDs([][2]string{
+		{"R1", "Rm1"}, {"R2", "Rm2"}, {"R3", "Rm3"}, {"R4", "Rm4"}, {"R5", "Rm5"}, {"R6", "Rm6"},
+	}, arities)
+
+	// Query: head = X variables; body ranges every variable over the
+	// Boolean domain, computes the clause conjunction z, and joins
+	// R6(z') with R5(z', z, '1').
+	varTerm := func(i int) query.Term { return query.Var(fmt.Sprintf("x%d", i)) }
+	bc := newBoolCircuit("R2", "R3", "R4")
+	var atoms []query.RelAtom
+	for i := 1; i <= phi.NumVars; i++ {
+		atoms = append(atoms, query.Atom("R1", varTerm(i)))
+	}
+	clauseVals := make([]query.Term, len(phi.Clauses))
+	for ci, cl := range phi.Clauses {
+		clauseVals[ci] = bc.clause(cl, varTerm)
+	}
+	z := bc.conjunction(clauseVals)
+	zp := query.Var("zprime")
+	atoms = append(atoms, bc.atoms...)
+	atoms = append(atoms, query.Atom("R6", zp), query.Atom("R5", zp, z, query.C("1")))
+
+	head := make([]query.Term, nX)
+	for i := 1; i <= nX; i++ {
+		head[i-1] = varTerm(i)
+	}
+	q := cq.New("Qfe", head, atoms)
+
+	smap := make(map[string]*relation.Schema, len(schemas))
+	for _, s := range schemas {
+		smap[s.Name] = s
+	}
+	if err := q.Validate(smap); err != nil {
+		return nil, err
+	}
+	if err := v.Validate(dm); err != nil {
+		return nil, err
+	}
+	return &RCDPInstance{Q: qlang.FromCQ(q), D: d, Dm: dm, V: v, Schemas: smap}, nil
+}

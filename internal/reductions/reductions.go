@@ -1,0 +1,193 @@
+// Package reductions implements, as executable constructions, the
+// hardness reductions from the proofs of Fan & Geerts: each function
+// maps an instance of the source problem (∀∃-3SAT, 3SAT, ∃∀∃-3SAT,
+// 2ⁿ×2ⁿ tiling, FO satisfiability, 2-head-DFA emptiness) to an RCDP or
+// RCQP instance exactly as in the corresponding proof. Together with
+// the solvers in internal/sat, internal/tiling and internal/automata
+// they validate the lower-bound rows of Tables I and II on instances
+// with known ground truth, and they generate the scaling workloads of
+// the benchmark harness.
+package reductions
+
+import (
+	"fmt"
+
+	"repro/internal/cc"
+	"repro/internal/qlang"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/sat"
+)
+
+// RCDPInstance bundles one input of the relatively complete database
+// problem.
+type RCDPInstance struct {
+	Q       qlang.Query
+	D       *relation.Database
+	Dm      *relation.Database
+	V       *cc.Set
+	Schemas map[string]*relation.Schema
+}
+
+// RCQPInstance bundles one input of the relatively complete query
+// problem.
+type RCQPInstance struct {
+	Q       qlang.Query
+	Dm      *relation.Database
+	V       *cc.Set
+	Schemas map[string]*relation.Schema
+}
+
+// boolCircuit accumulates CQ atoms that force fresh variables to carry
+// the truth values of Boolean combinations, using the truth-table
+// relations R2 (∨), R3 (∧) and R4 (¬) of the Theorem 3.6 construction.
+type boolCircuit struct {
+	atoms   []query.RelAtom
+	negated map[string]query.Term
+	fresh   int
+	orRel   string
+	andRel  string
+	notRel  string
+}
+
+func newBoolCircuit(orRel, andRel, notRel string) *boolCircuit {
+	return &boolCircuit{negated: make(map[string]query.Term), orRel: orRel, andRel: andRel, notRel: notRel}
+}
+
+func (bc *boolCircuit) freshVar(prefix string) query.Term {
+	bc.fresh++
+	return query.Var(fmt.Sprintf("%s%d", prefix, bc.fresh))
+}
+
+// lit returns a term carrying the value of the literal, given the term
+// carrying its variable's value; negations share one R4 atom per
+// variable, and negated constants are folded directly.
+func (bc *boolCircuit) lit(l sat.Literal, varTerm func(int) query.Term) query.Term {
+	vt := varTerm(l.Var())
+	if l.Positive() {
+		return vt
+	}
+	if !vt.IsVar {
+		if vt.Val == "1" {
+			return query.C("0")
+		}
+		return query.C("1")
+	}
+	if nt, ok := bc.negated[vt.Name]; ok {
+		return nt
+	}
+	nt := bc.freshVar("n")
+	bc.atoms = append(bc.atoms, query.Atom(bc.notRel, vt, nt))
+	bc.negated[vt.Name] = nt
+	return nt
+}
+
+// or3 emits atoms computing a ∨ b ∨ c.
+func (bc *boolCircuit) or3(a, b, c query.Term) query.Term {
+	o1 := bc.freshVar("o")
+	bc.atoms = append(bc.atoms, query.Atom(bc.orRel, a, b, o1))
+	o2 := bc.freshVar("o")
+	bc.atoms = append(bc.atoms, query.Atom(bc.orRel, o1, c, o2))
+	return o2
+}
+
+// clause emits atoms computing the value of a 3SAT clause. Clauses with
+// fewer than three literals repeat their last literal (x ∨ x = x).
+func (bc *boolCircuit) clause(cl sat.Clause, varTerm func(int) query.Term) query.Term {
+	if len(cl) == 0 {
+		panic("reductions: empty clause")
+	}
+	get := func(i int) query.Term {
+		if i < len(cl) {
+			return bc.lit(cl[i], varTerm)
+		}
+		return bc.lit(cl[len(cl)-1], varTerm)
+	}
+	return bc.or3(get(0), get(1), get(2))
+}
+
+// conjunction chains R3 atoms over the terms; a single term passes
+// through unchanged.
+func (bc *boolCircuit) conjunction(terms []query.Term) query.Term {
+	return bc.chain(terms, bc.andRel, "a")
+}
+
+// disjunction chains R2 atoms over the terms.
+func (bc *boolCircuit) disjunction(terms []query.Term) query.Term {
+	return bc.chain(terms, bc.orRel, "d")
+}
+
+func (bc *boolCircuit) chain(terms []query.Term, rel, prefix string) query.Term {
+	if len(terms) == 0 {
+		panic("reductions: empty connective chain")
+	}
+	acc := terms[0]
+	for _, t := range terms[1:] {
+		next := bc.freshVar(prefix)
+		bc.atoms = append(bc.atoms, query.Atom(rel, acc, t, next))
+		acc = next
+	}
+	return acc
+}
+
+// truth-table instances shared by the SAT-flavoured reductions.
+func addTruthTables(d *relation.Database) {
+	d.MustAdd("R1", "0")
+	d.MustAdd("R1", "1")
+	for _, t := range [][3]string{{"0", "0", "0"}, {"0", "1", "1"}, {"1", "0", "1"}, {"1", "1", "1"}} {
+		d.MustAdd("R2", t[0], t[1], t[2])
+	}
+	for _, t := range [][3]string{{"0", "0", "0"}, {"0", "1", "0"}, {"1", "0", "0"}, {"1", "1", "1"}} {
+		d.MustAdd("R3", t[0], t[1], t[2])
+	}
+	d.MustAdd("R4", "0", "1")
+	d.MustAdd("R4", "1", "0")
+}
+
+func truthTableSchemas() []*relation.Schema {
+	return []*relation.Schema{
+		relation.NewSchema("R1", relation.Attr("x")),
+		relation.NewSchema("R2", relation.Attr("a"), relation.Attr("b"), relation.Attr("o")),
+		relation.NewSchema("R3", relation.Attr("a"), relation.Attr("b"), relation.Attr("o")),
+		relation.NewSchema("R4", relation.Attr("x"), relation.Attr("nx")),
+	}
+}
+
+func masterTruthTableSchemas() []*relation.Schema {
+	return []*relation.Schema{
+		relation.NewSchema("Rm1", relation.Attr("x")),
+		relation.NewSchema("Rm2", relation.Attr("a"), relation.Attr("b"), relation.Attr("o")),
+		relation.NewSchema("Rm3", relation.Attr("a"), relation.Attr("b"), relation.Attr("o")),
+		relation.NewSchema("Rm4", relation.Attr("x"), relation.Attr("nx")),
+	}
+}
+
+func addMasterTruthTables(dm *relation.Database) {
+	dm.MustAdd("Rm1", "0")
+	dm.MustAdd("Rm1", "1")
+	for _, t := range [][3]string{{"0", "0", "0"}, {"0", "1", "1"}, {"1", "0", "1"}, {"1", "1", "1"}} {
+		dm.MustAdd("Rm2", t[0], t[1], t[2])
+	}
+	for _, t := range [][3]string{{"0", "0", "0"}, {"0", "1", "0"}, {"1", "0", "0"}, {"1", "1", "1"}} {
+		dm.MustAdd("Rm3", t[0], t[1], t[2])
+	}
+	dm.MustAdd("Rm4", "0", "1")
+	dm.MustAdd("Rm4", "1", "0")
+}
+
+// fullINDs builds the INDs R_i ⊆ Rm_i over all columns, the containment
+// constraints of the Theorem 3.6 construction.
+func fullINDs(pairs [][2]string, arities map[string]int) *cc.Set {
+	s := cc.NewSet()
+	for i, p := range pairs {
+		ar := arities[p[0]]
+		cols := make([]int, ar)
+		mcols := make([]int, ar)
+		for j := 0; j < ar; j++ {
+			cols[j] = j
+			mcols[j] = j
+		}
+		s.Add(cc.NewIND(fmt.Sprintf("v%d", i+1), p[0], cols, ar, cc.Proj(p[1], mcols...)))
+	}
+	return s
+}

@@ -1,0 +1,96 @@
+package reductions
+
+import (
+	"fmt"
+
+	"repro/internal/cc"
+	"repro/internal/cq"
+	"repro/internal/qlang"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/sat"
+)
+
+// ThreeSATToRCQP implements the coNP-hardness reduction of Theorem
+// 4.5(1): given a 3SAT instance φ over n variables it produces an
+// RCQP(CQ, INDs) instance with fixed master data and fixed INDs such
+// that RCQ(Q, Dm, V) is empty iff φ is satisfiable.
+//
+// Per the proof: R_t(x, x̄) enforces complementary truth values via the
+// IND into Rm_t = {(0,1), (1,0)}; R_∨ enforces clause satisfaction via
+// the IND into the seven satisfying rows of Rm_∨; and R(A, x₁, x̄₁, …,
+// x_n, x̄_n) carries a truth assignment next to an attribute A over the
+// infinite domain. The query returns A. When φ is satisfiable the
+// A-column can always be extended with a fresh value alongside a
+// satisfying assignment, so no database is complete; when φ is
+// unsatisfiable the query's answer is empty everywhere and the empty
+// database is complete.
+func ThreeSATToRCQP(phi *sat.CNF) (*RCQPInstance, error) {
+	if err := phi.Validate(); err != nil {
+		return nil, err
+	}
+	n := phi.NumVars
+
+	rt := relation.NewSchema("Rt", relation.Attr("x"), relation.Attr("nx"))
+	ror := relation.NewSchema("Ror", relation.Attr("l1"), relation.Attr("l2"), relation.Attr("l3"))
+	attrs := []relation.Attribute{relation.Attr("A")}
+	for i := 1; i <= n; i++ {
+		attrs = append(attrs, relation.Attr(fmt.Sprintf("x%d", i)), relation.Attr(fmt.Sprintf("nx%d", i)))
+	}
+	r := relation.NewSchema("R", attrs...)
+	schemas := map[string]*relation.Schema{"Rt": rt, "Ror": ror, "R": r}
+
+	dm := relation.NewDatabase(
+		relation.NewSchema("Rmt", relation.Attr("x"), relation.Attr("nx")),
+		relation.NewSchema("Rmor", relation.Attr("l1"), relation.Attr("l2"), relation.Attr("l3")),
+	)
+	dm.MustAdd("Rmt", "0", "1")
+	dm.MustAdd("Rmt", "1", "0")
+	for _, t := range [][3]string{
+		{"0", "0", "1"}, {"0", "1", "0"}, {"0", "1", "1"},
+		{"1", "0", "0"}, {"1", "0", "1"}, {"1", "1", "0"}, {"1", "1", "1"},
+	} {
+		dm.MustAdd("Rmor", t[0], t[1], t[2])
+	}
+
+	v := cc.NewSet(
+		cc.NewIND("vt", "Rt", []int{0, 1}, 2, cc.Proj("Rmt", 0, 1)),
+		cc.NewIND("vor", "Ror", []int{0, 1, 2}, 3, cc.Proj("Rmor", 0, 1, 2)),
+	)
+
+	// Q(z) :- R(z, x1, nx1, …), Rt(x_i, nx_i), R∨(l1, l2, l3) per clause.
+	pos := func(i int) query.Term { return query.Var(fmt.Sprintf("x%d", i)) }
+	neg := func(i int) query.Term { return query.Var(fmt.Sprintf("nx%d", i)) }
+	litTerm := func(l sat.Literal) query.Term {
+		if l.Positive() {
+			return pos(l.Var())
+		}
+		return neg(l.Var())
+	}
+	z := query.Var("z")
+	rArgs := []query.Term{z}
+	for i := 1; i <= n; i++ {
+		rArgs = append(rArgs, pos(i), neg(i))
+	}
+	atoms := []query.RelAtom{{Rel: "R", Args: rArgs}}
+	for i := 1; i <= n; i++ {
+		atoms = append(atoms, query.Atom("Rt", pos(i), neg(i)))
+	}
+	for _, cl := range phi.Clauses {
+		get := func(i int) query.Term {
+			if i < len(cl) {
+				return litTerm(cl[i])
+			}
+			return litTerm(cl[len(cl)-1])
+		}
+		atoms = append(atoms, query.Atom("Ror", get(0), get(1), get(2)))
+	}
+	q := cq.New("Qsat", []query.Term{z}, atoms)
+	if err := q.Validate(schemas); err != nil {
+		return nil, err
+	}
+	if err := v.Validate(dm); err != nil {
+		return nil, err
+	}
+	return &RCQPInstance{Q: qlang.FromCQ(q), Dm: dm, V: v, Schemas: schemas}, nil
+}

@@ -1,0 +1,275 @@
+package reductions
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cc"
+	"repro/internal/cq"
+	"repro/internal/qlang"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/tiling"
+)
+
+// glueSpec describes how one glue hypertile of the Theorem 4.5(2)
+// encoding relates to the four quarter hypertiles: glue quarter qp must
+// equal quarter srcQ of the hypertile referenced at column srcCol.
+// Column layout of R_i (i ≥ 2): 0 id, 1–4 id₁..id₄ (TL, TR, BL, BR),
+// 5 id₁₂, 6 id₁₃, 7 id₂₄, 8 id₃₄, 9 id₁₂₃₄, 10 Z.
+type glueSpec struct {
+	glueCol int
+	eqs     [4]struct{ srcCol, srcQ int } // glue quarter i+1 = src[srcCol].quarter(srcQ)
+}
+
+// glueSpecs encodes the seam equations (note: the paper's listing for
+// id₁₂₃₄ reads (a₄, b₃, c₃, d₁); the center square's bottom-left is the
+// top-right of the BL quarter, i.e. c₂ — we implement the geometrically
+// correct c₂).
+var glueSpecs = []glueSpec{
+	{5, [4]struct{ srcCol, srcQ int }{{1, 2}, {2, 1}, {1, 4}, {2, 3}}}, // id12
+	{6, [4]struct{ srcCol, srcQ int }{{1, 3}, {1, 4}, {3, 1}, {3, 2}}}, // id13
+	{7, [4]struct{ srcCol, srcQ int }{{2, 3}, {2, 4}, {4, 1}, {4, 2}}}, // id24
+	{8, [4]struct{ srcCol, srcQ int }{{3, 2}, {4, 1}, {3, 4}, {4, 3}}}, // id34
+	{9, [4]struct{ srcCol, srcQ int }{{1, 4}, {2, 3}, {3, 2}, {4, 1}}}, // id1234 (center)
+}
+
+// TilingToRCQP implements the NEXPTIME-hardness reduction of Theorem
+// 4.5(2): given a 2ⁿ×2ⁿ tiling instance it produces an RCQP(CQ, CQ)
+// instance such that RCQ(Q, Dm, V) is nonempty iff the tiling problem
+// has a solution. R₁ stores rank-1 hypertiles (2×2 squares of tiles)
+// with adjacency enforced by INDs into the master compatibility
+// relations; R_i stores rank-i hypertiles as quadruples of rank-(i−1)
+// identifiers together with the five glue hypertiles whose equations
+// enforce seam compatibility; the final CC binds the unary relation R_b
+// to the master bound exactly when a well-founded rank-n hypertile with
+// top-left tile t₀ exists, and the query simply returns R_b.
+func TilingToRCQP(in *tiling.Instance) (*RCQPInstance, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := in.N
+	if n < 1 || n > 4 {
+		return nil, fmt.Errorf("reductions: tiling exponent n=%d out of supported range 1..4", n)
+	}
+
+	schemas := make(map[string]*relation.Schema)
+	r1 := relation.NewSchema("T1",
+		relation.Attr("id"), relation.Attr("x1"), relation.Attr("x2"),
+		relation.Attr("x3"), relation.Attr("x4"), relation.Attr("z"))
+	schemas["T1"] = r1
+	for i := 2; i <= n; i++ {
+		attrs := []relation.Attribute{relation.Attr("id"),
+			relation.Attr("id1"), relation.Attr("id2"), relation.Attr("id3"), relation.Attr("id4"),
+			relation.Attr("g12"), relation.Attr("g13"), relation.Attr("g24"), relation.Attr("g34"),
+			relation.Attr("gc"), relation.Attr("z")}
+		schemas[relName(i)] = relation.NewSchema(relName(i), attrs...)
+	}
+	schemas["Rb"] = relation.NewSchema("Rb", relation.Attr("w"))
+
+	// Master data: the tile set, compatibility relations and the bound.
+	dm := relation.NewDatabase(
+		relation.NewSchema("RmT", relation.Attr("t")),
+		relation.NewSchema("RmV", relation.Attr("a"), relation.Attr("b")),
+		relation.NewSchema("RmH", relation.Attr("a"), relation.Attr("b")),
+		relation.NewSchema("Rmb", relation.Attr("w")),
+	)
+	for t := 0; t < in.NumTiles; t++ {
+		dm.MustAdd("RmT", tileVal(tiling.Tile(t)))
+	}
+	for p := range in.V {
+		dm.MustAdd("RmV", tileVal(p.A), tileVal(p.B))
+	}
+	for p := range in.H {
+		dm.MustAdd("RmH", tileVal(p.A), tileVal(p.B))
+	}
+	dm.MustAdd("Rmb", "bound")
+
+	v := cc.NewSet()
+	// R1 well-formedness.
+	key1 := &cc.FD{Name: "key1", Rel: "T1", From: []int{0}, To: []int{1, 2, 3, 4, 5}}
+	v.Add(key1.ToCCs(6)...)
+	for _, col := range []int{1, 2, 3, 4, 5} {
+		v.Add(cc.NewIND(fmt.Sprintf("t1tile%d", col), "T1", []int{col}, 6, cc.Proj("RmT", 0)))
+	}
+	v.Add(cc.NewIND("t1vertL", "T1", []int{1, 3}, 6, cc.Proj("RmV", 0, 1)))
+	v.Add(cc.NewIND("t1vertR", "T1", []int{2, 4}, 6, cc.Proj("RmV", 0, 1)))
+	v.Add(cc.NewIND("t1horT", "T1", []int{1, 2}, 6, cc.Proj("RmH", 0, 1)))
+	v.Add(cc.NewIND("t1horB", "T1", []int{3, 4}, 6, cc.Proj("RmH", 0, 1)))
+	// Z = top-left tile: σ_{x1 ≠ z}(T1) ⊆ ∅.
+	topl := cq.New("t1topl", nil,
+		[]query.RelAtom{query.Atom("T1", v6("id", "a1", "a2", "a3", "a4", "z")...)},
+		query.Neq(query.Var("a1"), query.Var("z")))
+	v.Add(cc.FromCQ("t1topl", topl, cc.EmptySet()))
+
+	// R_i (i ≥ 2) well-formedness: key + glue equations + Z chaining.
+	for i := 2; i <= n; i++ {
+		keyI := &cc.FD{Name: fmt.Sprintf("key%d", i), Rel: relName(i),
+			From: []int{0}, To: []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}}
+		v.Add(keyI.ToCCs(11)...)
+		sub := relName(i - 1)
+		subAr := arity(i - 1)
+		for gi, gs := range glueSpecs {
+			for qp := 1; qp <= 4; qp++ {
+				eq := gs.eqs[qp-1]
+				// q() :- R_i(t…), sub(s1…), sub(s2…),
+				//        s1.id = t[srcCol], s2.id = t[glueCol],
+				//        s2[qp] ≠ s1[srcQ]  ⊆ ∅.
+				tArgs := freshArgs("t", 11)
+				s1 := freshArgs("s1_", subAr)
+				s2 := freshArgs("s2_", subAr)
+				q := cq.New(fmt.Sprintf("glue%d_%d_%d", i, gi, qp), nil,
+					[]query.RelAtom{
+						{Rel: relName(i), Args: tArgs},
+						{Rel: sub, Args: s1},
+						{Rel: sub, Args: s2},
+					},
+					query.Eq(s1[0], tArgs[eq.srcCol]),
+					query.Eq(s2[0], tArgs[gs.glueCol]),
+					query.Neq(s2[qp], s1[eq.srcQ]),
+				)
+				v.Add(cc.FromCQ(q.Name, q, cc.EmptySet()))
+			}
+		}
+		// Z chaining: t.z equals the z of the hypertile at t.id1.
+		tArgs := freshArgs("t", 11)
+		s1 := freshArgs("s", subAr)
+		zq := cq.New(fmt.Sprintf("zchain%d", i), nil,
+			[]query.RelAtom{
+				{Rel: relName(i), Args: tArgs},
+				{Rel: sub, Args: s1},
+			},
+			query.Eq(s1[0], tArgs[1]),
+			query.Neq(s1[subAr-1], tArgs[10]),
+		)
+		v.Add(cc.FromCQ(zq.Name, zq, cc.EmptySet()))
+	}
+
+	// Final CC φ: q(w) :- Qsn(t) ∧ t.z = t0 ∧ Rb(w) ⊆ π(Rmb), where Qsn
+	// unfolds the identifier chain all the way down to T1.
+	fresh := 0
+	var unfoldAtoms []query.RelAtom
+	var unfold func(rank int, id query.Term) query.Term // returns the z term
+	unfold = func(rank int, id query.Term) query.Term {
+		fresh++
+		prefix := fmt.Sprintf("u%d_", fresh)
+		args := freshArgs(prefix, arity(rank))
+		args[0] = id
+		unfoldAtoms = append(unfoldAtoms, query.RelAtom{Rel: relName(rank), Args: args})
+		if rank > 1 {
+			for col := 1; col <= 9; col++ {
+				unfold(rank-1, args[col])
+			}
+		}
+		return args[arity(rank)-1]
+	}
+	top := query.Var("topid")
+	zTerm := unfold(n, top)
+	w := query.Var("w")
+	phiAtoms := append(unfoldAtoms, query.Atom("Rb", w))
+	phiQ := cq.New("phi", []query.Term{w}, phiAtoms,
+		query.Eq(zTerm, query.C(tileVal(0))))
+	v.Add(cc.FromCQ("phi", phiQ, cc.Proj("Rmb", 0)))
+
+	q := cq.New("Qtile", []query.Term{query.Var("w")},
+		[]query.RelAtom{query.Atom("Rb", query.Var("w"))})
+	if err := q.Validate(schemas); err != nil {
+		return nil, err
+	}
+	if err := v.Validate(dm); err != nil {
+		return nil, err
+	}
+	return &RCQPInstance{Q: qlang.FromCQ(q), Dm: dm, V: v, Schemas: schemas}, nil
+}
+
+// TilingWitness constructs the candidate witness database of the proof
+// from a concrete tiling: for every rank i ∈ [1, n] it stores each
+// rank-i subsquare whose top-left corner lies at a multiple of 2^(i−1)
+// (content-addressed, so identical squares share an identifier) — a set
+// closed under both quarter and glue references — plus R_b = {bound}.
+func TilingWitness(inst *RCQPInstance, in *tiling.Instance, g tiling.Grid) (*relation.Database, error) {
+	if !in.Check(g) {
+		return nil, fmt.Errorf("reductions: grid is not a valid tiling")
+	}
+	n := in.N
+	var ss []*relation.Schema
+	for i := 1; i <= n; i++ {
+		ss = append(ss, inst.Schemas[relName(i)])
+	}
+	ss = append(ss, inst.Schemas["Rb"])
+	d := relation.NewDatabase(ss...)
+
+	size := in.Size()
+	// contentID returns the canonical identifier of the square of side
+	// 2^rank at (r, c).
+	contentID := func(rank, r, c int) string {
+		side := 1 << rank
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "h%d", rank)
+		for i := 0; i < side; i++ {
+			for j := 0; j < side; j++ {
+				fmt.Fprintf(&sb, "_%d", g[r+i][c+j])
+			}
+		}
+		return sb.String()
+	}
+	for rank := 1; rank <= n; rank++ {
+		side := 1 << rank
+		step := 1 << (rank - 1)
+		for r := 0; r+side <= size; r += step {
+			for c := 0; c+side <= size; c += step {
+				id := contentID(rank, r, c)
+				z := tileVal(g[r][c])
+				if rank == 1 {
+					if err := d.Add("T1", relation.T(id,
+						tileVal(g[r][c]), tileVal(g[r][c+1]),
+						tileVal(g[r+1][c]), tileVal(g[r+1][c+1]), z)); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				h := side / 2
+				tup := relation.T(id,
+					contentID(rank-1, r, c), contentID(rank-1, r, c+h),
+					contentID(rank-1, r+h, c), contentID(rank-1, r+h, c+h),
+					contentID(rank-1, r, c+h/2), contentID(rank-1, r+h/2, c),
+					contentID(rank-1, r+h/2, c+h), contentID(rank-1, r+h, c+h/2),
+					contentID(rank-1, r+h/2, c+h/2), z)
+				if err := d.Add(relName(rank), tup); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	d.MustAdd("Rb", "bound")
+	return d, nil
+}
+
+func relName(rank int) string {
+	return fmt.Sprintf("T%d", rank)
+}
+
+func arity(rank int) int {
+	if rank == 1 {
+		return 6
+	}
+	return 11
+}
+
+func tileVal(t tiling.Tile) string { return fmt.Sprintf("tile%d", t) }
+
+func freshArgs(prefix string, n int) []query.Term {
+	out := make([]query.Term, n)
+	for i := range out {
+		out[i] = query.Var(fmt.Sprintf("%s%d", prefix, i))
+	}
+	return out
+}
+
+func v6(names ...string) []query.Term {
+	out := make([]query.Term, len(names))
+	for i, n := range names {
+		out[i] = query.Var(n)
+	}
+	return out
+}

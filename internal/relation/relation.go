@@ -1,0 +1,532 @@
+// Package relation provides the relational substrate used throughout the
+// library: values, typed attributes with finite or infinite domains,
+// relation schemas, tuples, instances and databases.
+//
+// The model follows Section 2.1 of Fan & Geerts, "Relative Information
+// Completeness": every attribute draws its values either from a countably
+// infinite domain d, or from a finite domain d_f with at least two
+// elements. Instances are set-valued (no duplicates) and all iteration
+// orders are deterministic, so every decision procedure built on top of
+// this package is reproducible.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is a single database value. Values compare by string identity;
+// the empty string is a legal value.
+type Value string
+
+// DomainKind distinguishes the two attribute domains of the paper.
+type DomainKind uint8
+
+const (
+	// Infinite is the countably infinite domain d.
+	Infinite DomainKind = iota
+	// Finite is a finite domain d_f with at least two elements.
+	Finite
+)
+
+// Domain describes the set of values an attribute may take. For Finite
+// domains Values holds the full, sorted value set; for Infinite domains
+// Values is nil.
+type Domain struct {
+	Kind   DomainKind
+	Values []Value // sorted, unique; only for Kind == Finite
+}
+
+// InfiniteDomain returns the countably infinite domain d.
+func InfiniteDomain() Domain { return Domain{Kind: Infinite} }
+
+// FiniteDomain returns a finite domain over the given values. The values
+// are deduplicated and sorted. Finite domains must contain at least two
+// elements (as required by the paper); smaller domains are rejected at
+// schema-validation time, not here, so tests can build degenerate cases.
+func FiniteDomain(values ...Value) Domain {
+	vs := append([]Value(nil), values...)
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	out := vs[:0]
+	var prev Value
+	for i, v := range vs {
+		if i == 0 || v != prev {
+			out = append(out, v)
+		}
+		prev = v
+	}
+	return Domain{Kind: Finite, Values: out}
+}
+
+// Contains reports whether v belongs to the domain. Every value belongs
+// to the infinite domain.
+func (d Domain) Contains(v Value) bool {
+	if d.Kind == Infinite {
+		return true
+	}
+	i := sort.Search(len(d.Values), func(i int) bool { return d.Values[i] >= v })
+	return i < len(d.Values) && d.Values[i] == v
+}
+
+// Equal reports whether two domains are identical.
+func (d Domain) Equal(o Domain) bool {
+	if d.Kind != o.Kind || len(d.Values) != len(o.Values) {
+		return false
+	}
+	for i := range d.Values {
+		if d.Values[i] != o.Values[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (d Domain) String() string {
+	if d.Kind == Infinite {
+		return "inf"
+	}
+	parts := make([]string, len(d.Values))
+	for i, v := range d.Values {
+		parts[i] = string(v)
+	}
+	return "fin{" + strings.Join(parts, ",") + "}"
+}
+
+// Attribute is a named, typed column of a relation schema.
+type Attribute struct {
+	Name   string
+	Domain Domain
+}
+
+// Attr is shorthand for an attribute over the infinite domain.
+func Attr(name string) Attribute { return Attribute{Name: name, Domain: InfiniteDomain()} }
+
+// FinAttr is shorthand for an attribute over a finite domain.
+func FinAttr(name string, values ...Value) Attribute {
+	return Attribute{Name: name, Domain: FiniteDomain(values...)}
+}
+
+// Schema describes one relation: its name and typed attributes.
+type Schema struct {
+	Name  string
+	Attrs []Attribute
+}
+
+// NewSchema builds a relation schema.
+func NewSchema(name string, attrs ...Attribute) *Schema {
+	return &Schema{Name: name, Attrs: attrs}
+}
+
+// Arity returns the number of attributes.
+func (s *Schema) Arity() int { return len(s.Attrs) }
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (s *Schema) AttrIndex(name string) int {
+	for i, a := range s.Attrs {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks structural well-formedness: nonempty name, unique
+// attribute names and finite domains of size at least two.
+func (s *Schema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("relation: schema with empty name")
+	}
+	seen := make(map[string]bool, len(s.Attrs))
+	for _, a := range s.Attrs {
+		if a.Name == "" {
+			return fmt.Errorf("relation: schema %s has an unnamed attribute", s.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("relation: schema %s has duplicate attribute %s", s.Name, a.Name)
+		}
+		seen[a.Name] = true
+		if a.Domain.Kind == Finite && len(a.Domain.Values) < 2 {
+			return fmt.Errorf("relation: schema %s attribute %s: finite domain needs >= 2 values", s.Name, a.Name)
+		}
+	}
+	return nil
+}
+
+func (s *Schema) String() string {
+	parts := make([]string, len(s.Attrs))
+	for i, a := range s.Attrs {
+		if a.Domain.Kind == Finite {
+			parts[i] = a.Name + ":" + a.Domain.String()
+		} else {
+			parts[i] = a.Name
+		}
+	}
+	return s.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Tuple is an ordered list of values.
+type Tuple []Value
+
+// Key returns a collision-free string encoding of the tuple, suitable as
+// a map key. Values are joined with a separator that cannot appear
+// inside a Value read from the public constructors' typical inputs; to
+// stay collision-free for arbitrary values each component is
+// length-prefixed.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for _, v := range t {
+		fmt.Fprintf(&b, "%d:", len(v))
+		b.WriteString(string(v))
+	}
+	return b.String()
+}
+
+// Equal reports component-wise equality.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if t[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// Less orders tuples lexicographically.
+func (t Tuple) Less(o Tuple) bool {
+	for i := 0; i < len(t) && i < len(o); i++ {
+		if t[i] != o[i] {
+			return t[i] < o[i]
+		}
+	}
+	return len(t) < len(o)
+}
+
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = string(v)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// T builds a tuple from strings; a convenience for literals in tests and
+// examples.
+func T(vals ...string) Tuple {
+	t := make(Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = Value(v)
+	}
+	return t
+}
+
+// Project returns the tuple restricted to the given column indexes.
+func (t Tuple) Project(cols []int) Tuple {
+	out := make(Tuple, len(cols))
+	for i, c := range cols {
+		out[i] = t[c]
+	}
+	return out
+}
+
+// Instance is a finite set of tuples over one schema.
+type Instance struct {
+	Schema *Schema
+	tuples map[string]Tuple
+
+	// sorted caches the deterministic tuple order; nil when dirty.
+	sorted []Tuple
+}
+
+// NewInstance returns an empty instance of the schema.
+func NewInstance(s *Schema) *Instance {
+	return &Instance{Schema: s, tuples: make(map[string]Tuple)}
+}
+
+// Add inserts a tuple, validating arity and finite-domain membership.
+// Adding a duplicate is a no-op.
+func (in *Instance) Add(t Tuple) error {
+	if len(t) != in.Schema.Arity() {
+		return fmt.Errorf("relation: %s expects arity %d, got tuple %v", in.Schema.Name, in.Schema.Arity(), t)
+	}
+	for i, v := range t {
+		if !in.Schema.Attrs[i].Domain.Contains(v) {
+			return fmt.Errorf("relation: %s.%s: value %q outside finite domain %s",
+				in.Schema.Name, in.Schema.Attrs[i].Name, v, in.Schema.Attrs[i].Domain)
+		}
+	}
+	k := t.Key()
+	if _, dup := in.tuples[k]; !dup {
+		in.tuples[k] = t.Clone()
+		in.sorted = nil
+	}
+	return nil
+}
+
+// MustAdd is Add that panics on error; for literals in tests/examples.
+func (in *Instance) MustAdd(t Tuple) {
+	if err := in.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// Remove deletes a tuple if present.
+func (in *Instance) Remove(t Tuple) {
+	k := t.Key()
+	if _, ok := in.tuples[k]; ok {
+		delete(in.tuples, k)
+		in.sorted = nil
+	}
+}
+
+// Contains reports tuple membership.
+func (in *Instance) Contains(t Tuple) bool {
+	_, ok := in.tuples[t.Key()]
+	return ok
+}
+
+// Len returns the number of tuples.
+func (in *Instance) Len() int { return len(in.tuples) }
+
+// Tuples returns all tuples in deterministic (lexicographic) order.
+// The returned slice is a shared cache: callers must not modify it.
+func (in *Instance) Tuples() []Tuple {
+	if in.sorted == nil {
+		out := make([]Tuple, 0, len(in.tuples))
+		for _, t := range in.tuples {
+			out = append(out, t)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+		in.sorted = out
+	}
+	return in.sorted
+}
+
+// Clone returns a deep copy sharing the schema.
+func (in *Instance) Clone() *Instance {
+	cp := NewInstance(in.Schema)
+	for k, t := range in.tuples {
+		cp.tuples[k] = t
+	}
+	return cp
+}
+
+// SubsetOf reports whether every tuple of in occurs in o.
+func (in *Instance) SubsetOf(o *Instance) bool {
+	if in.Len() > o.Len() {
+		return false
+	}
+	for k := range in.tuples {
+		if _, ok := o.tuples[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports set equality of the two instances.
+func (in *Instance) Equal(o *Instance) bool {
+	return in.Len() == o.Len() && in.SubsetOf(o)
+}
+
+// Project returns the distinct projections of all tuples onto cols.
+func (in *Instance) Project(cols []int) []Tuple {
+	seen := make(map[string]Tuple, len(in.tuples))
+	for _, t := range in.tuples {
+		p := t.Project(cols)
+		seen[p.Key()] = p
+	}
+	out := make([]Tuple, 0, len(seen))
+	for _, t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+func (in *Instance) String() string {
+	var b strings.Builder
+	b.WriteString(in.Schema.Name)
+	b.WriteString(" {")
+	for i, t := range in.Tuples() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Database is a named collection of instances — one per relation schema.
+// It models both ordinary databases D over schema R and master data Dm
+// over schema Rm.
+type Database struct {
+	rels  map[string]*Instance
+	order []string // sorted relation names
+}
+
+// NewDatabase returns a database with one empty instance per schema.
+func NewDatabase(schemas ...*Schema) *Database {
+	d := &Database{rels: make(map[string]*Instance, len(schemas))}
+	for _, s := range schemas {
+		if _, dup := d.rels[s.Name]; dup {
+			panic(fmt.Sprintf("relation: duplicate schema %s", s.Name))
+		}
+		d.rels[s.Name] = NewInstance(s)
+		d.order = append(d.order, s.Name)
+	}
+	sort.Strings(d.order)
+	return d
+}
+
+// AddSchema adds an empty instance for a new schema.
+func (d *Database) AddSchema(s *Schema) {
+	if _, dup := d.rels[s.Name]; dup {
+		panic(fmt.Sprintf("relation: duplicate schema %s", s.Name))
+	}
+	d.rels[s.Name] = NewInstance(s)
+	d.order = append(d.order, s.Name)
+	sort.Strings(d.order)
+}
+
+// Relations returns the relation names in sorted order.
+func (d *Database) Relations() []string { return d.order }
+
+// Instance returns the instance of the named relation, or nil.
+func (d *Database) Instance(name string) *Instance { return d.rels[name] }
+
+// Schema returns the schema of the named relation, or nil.
+func (d *Database) Schema(name string) *Schema {
+	if in := d.rels[name]; in != nil {
+		return in.Schema
+	}
+	return nil
+}
+
+// Add inserts a tuple into the named relation.
+func (d *Database) Add(rel string, t Tuple) error {
+	in := d.rels[rel]
+	if in == nil {
+		return fmt.Errorf("relation: unknown relation %s", rel)
+	}
+	return in.Add(t)
+}
+
+// MustAdd is Add that panics on error; vals are plain strings.
+func (d *Database) MustAdd(rel string, vals ...string) {
+	if err := d.Add(rel, T(vals...)); err != nil {
+		panic(err)
+	}
+}
+
+// Contains reports whether the named relation holds the tuple.
+func (d *Database) Contains(rel string, t Tuple) bool {
+	in := d.rels[rel]
+	return in != nil && in.Contains(t)
+}
+
+// Clone returns a deep copy of the database (schemas shared).
+func (d *Database) Clone() *Database {
+	cp := &Database{rels: make(map[string]*Instance, len(d.rels)), order: append([]string(nil), d.order...)}
+	for name, in := range d.rels {
+		cp.rels[name] = in.Clone()
+	}
+	return cp
+}
+
+// UnionInto adds all tuples of o into d. Relations of o missing from d
+// are added with o's schema.
+func (d *Database) UnionInto(o *Database) {
+	for _, name := range o.order {
+		if _, ok := d.rels[name]; !ok {
+			d.AddSchema(o.rels[name].Schema)
+		}
+		for _, t := range o.rels[name].Tuples() {
+			d.rels[name].MustAdd(t)
+		}
+	}
+}
+
+// Union returns a fresh database with the tuples of both.
+func (d *Database) Union(o *Database) *Database {
+	u := d.Clone()
+	u.UnionInto(o)
+	return u
+}
+
+// SubsetOf reports whether d ⊆ o: every relation of d exists in o and is
+// tuple-wise contained.
+func (d *Database) SubsetOf(o *Database) bool {
+	for name, in := range d.rels {
+		oin := o.rels[name]
+		if oin == nil {
+			if in.Len() > 0 {
+				return false
+			}
+			continue
+		}
+		if !in.SubsetOf(oin) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether the two databases hold exactly the same tuples
+// over the same relation names.
+func (d *Database) Equal(o *Database) bool {
+	return d.SubsetOf(o) && o.SubsetOf(d)
+}
+
+// TupleCount returns the total number of tuples across all relations.
+func (d *Database) TupleCount() int {
+	n := 0
+	for _, in := range d.rels {
+		n += in.Len()
+	}
+	return n
+}
+
+// IsEmpty reports whether every relation is empty.
+func (d *Database) IsEmpty() bool { return d.TupleCount() == 0 }
+
+// ActiveDomain returns the sorted set of all values occurring in d.
+func (d *Database) ActiveDomain() []Value {
+	seen := make(map[Value]bool)
+	for _, in := range d.rels {
+		for _, t := range in.tuples {
+			for _, v := range t {
+				seen[v] = true
+			}
+		}
+	}
+	return SortedValues(seen)
+}
+
+func (d *Database) String() string {
+	var b strings.Builder
+	for i, name := range d.order {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(d.rels[name].String())
+	}
+	return b.String()
+}
+
+// SortedValues converts a value set to a sorted slice.
+func SortedValues(set map[Value]bool) []Value {
+	out := make([]Value, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

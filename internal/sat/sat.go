@@ -1,0 +1,306 @@
+// Package sat provides propositional machinery for the hardness
+// reductions of Fan & Geerts: 3SAT instances with a DPLL solver, and
+// evaluators for the quantified variants used by the lower-bound proofs
+// — ∀*∃*-3SAT (Σ₂ᵖ-hardness of RCDP, Theorem 3.6) and ∃*∀*∃*-3SAT
+// (Σ₃ᵖ-hardness of RCQP with fixed master data, Corollary 4.6).
+package sat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Literal is a propositional literal: a 1-based variable index, negated
+// when negative. Variable indices are dense from 1 to NumVars.
+type Literal int
+
+// Var returns the literal's variable index.
+func (l Literal) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Positive reports whether the literal is unnegated.
+func (l Literal) Positive() bool { return l > 0 }
+
+// Clause is a disjunction of literals.
+type Clause []Literal
+
+// CNF is a conjunction of clauses over variables 1..NumVars.
+type CNF struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// NewCNF builds a CNF formula.
+func NewCNF(numVars int, clauses ...Clause) *CNF {
+	return &CNF{NumVars: numVars, Clauses: clauses}
+}
+
+// Validate checks literal ranges and clause nonemptiness.
+func (f *CNF) Validate() error {
+	for i, cl := range f.Clauses {
+		if len(cl) == 0 {
+			return fmt.Errorf("sat: clause %d is empty", i)
+		}
+		for _, l := range cl {
+			if l == 0 || l.Var() > f.NumVars {
+				return fmt.Errorf("sat: clause %d has out-of-range literal %d", i, l)
+			}
+		}
+	}
+	return nil
+}
+
+func (f *CNF) String() string {
+	parts := make([]string, len(f.Clauses))
+	for i, cl := range f.Clauses {
+		lits := make([]string, len(cl))
+		for j, l := range cl {
+			if l > 0 {
+				lits[j] = fmt.Sprintf("x%d", l)
+			} else {
+				lits[j] = fmt.Sprintf("!x%d", -l)
+			}
+		}
+		parts[i] = "(" + strings.Join(lits, "|") + ")"
+	}
+	return strings.Join(parts, " & ")
+}
+
+// Assignment maps variable indices (1-based) to truth values; index 0
+// is unused.
+type Assignment []bool
+
+// Eval evaluates the formula under a complete assignment.
+func (f *CNF) Eval(a Assignment) bool {
+	for _, cl := range f.Clauses {
+		sat := false
+		for _, l := range cl {
+			if a[l.Var()] == l.Positive() {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve searches for a satisfying assignment with DPLL (unit
+// propagation + branching). It returns the assignment and true when the
+// formula is satisfiable.
+func (f *CNF) Solve() (Assignment, bool) {
+	return f.SolveWithFixed(nil)
+}
+
+// SolveWithFixed is Solve with some variables pre-assigned: fixed maps
+// variable index to its forced value.
+func (f *CNF) SolveWithFixed(fixed map[int]bool) (Assignment, bool) {
+	type tri int8
+	const (
+		unset tri = iota
+		fTrue
+		fFalse
+	)
+	assign := make([]tri, f.NumVars+1)
+	for v, val := range fixed {
+		if val {
+			assign[v] = fTrue
+		} else {
+			assign[v] = fFalse
+		}
+	}
+	litVal := func(l Literal) tri {
+		a := assign[l.Var()]
+		if a == unset {
+			return unset
+		}
+		if (a == fTrue) == l.Positive() {
+			return fTrue
+		}
+		return fFalse
+	}
+	var dpll func() bool
+	dpll = func() bool {
+		// Unit propagation.
+		for changed := true; changed; {
+			changed = false
+			for _, cl := range f.Clauses {
+				unassigned := Literal(0)
+				nUnassigned, satisfied := 0, false
+				for _, l := range cl {
+					switch litVal(l) {
+					case fTrue:
+						satisfied = true
+					case unset:
+						nUnassigned++
+						unassigned = l
+					}
+					if satisfied {
+						break
+					}
+				}
+				if satisfied {
+					continue
+				}
+				if nUnassigned == 0 {
+					return false // conflict
+				}
+				if nUnassigned == 1 {
+					if unassigned.Positive() {
+						assign[unassigned.Var()] = fTrue
+					} else {
+						assign[unassigned.Var()] = fFalse
+					}
+					changed = true
+				}
+			}
+		}
+		// Pick a branch variable.
+		branch := 0
+		for v := 1; v <= f.NumVars; v++ {
+			if assign[v] == unset {
+				branch = v
+				break
+			}
+		}
+		if branch == 0 {
+			return true // all assigned, no conflict
+		}
+		saved := append([]tri(nil), assign...)
+		assign[branch] = fTrue
+		if dpll() {
+			return true
+		}
+		copy(assign, saved)
+		assign[branch] = fFalse
+		if dpll() {
+			return true
+		}
+		copy(assign, saved)
+		return false
+	}
+	if !dpll() {
+		return nil, false
+	}
+	out := make(Assignment, f.NumVars+1)
+	for v := 1; v <= f.NumVars; v++ {
+		out[v] = assign[v] == fTrue // unset defaults to false
+	}
+	if !f.Eval(out) {
+		// Unset variables defaulted to false may need flipping; fall
+		// back to completing by brute force over unset vars (rare and
+		// small). DPLL above only leaves don't-care variables unset.
+		panic("sat: internal error: DPLL produced non-model")
+	}
+	return out, true
+}
+
+// ForallExists evaluates a ∀X ∃Y φ sentence: X are the first nX
+// variables, Y the remaining ones. It reports whether for every
+// assignment of X there is an assignment of Y satisfying φ.
+func ForallExists(f *CNF, nX int) bool {
+	fixed := make(map[int]bool, nX)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i > nX {
+			_, ok := f.SolveWithFixed(fixed)
+			return ok
+		}
+		for _, val := range []bool{false, true} {
+			fixed[i] = val
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		delete(fixed, i)
+		return true
+	}
+	return rec(1)
+}
+
+// ExistsForallExists evaluates an ∃X ∀Y ∃Z φ sentence: X are variables
+// 1..nX, Y are nX+1..nX+nY, Z the rest.
+func ExistsForallExists(f *CNF, nX, nY int) bool {
+	fixed := make(map[int]bool, nX+nY)
+	var forall func(i int) bool
+	forall = func(i int) bool {
+		if i > nX+nY {
+			_, ok := f.SolveWithFixed(fixed)
+			return ok
+		}
+		for _, val := range []bool{false, true} {
+			fixed[i] = val
+			if !forall(i + 1) {
+				return false
+			}
+		}
+		delete(fixed, i)
+		return true
+	}
+	var exists func(i int) bool
+	exists = func(i int) bool {
+		if i > nX {
+			return forall(nX + 1)
+		}
+		for _, val := range []bool{false, true} {
+			fixed[i] = val
+			if exists(i + 1) {
+				delete(fixed, i)
+				return true
+			}
+		}
+		delete(fixed, i)
+		return false
+	}
+	return exists(1)
+}
+
+// ExistsWitness returns, for a true ∃X ∀Y ∃Z φ sentence, an X
+// assignment witnessing it (indexed 1..nX), and ok=false when the
+// sentence is false.
+func ExistsWitness(f *CNF, nX, nY int) (map[int]bool, bool) {
+	fixed := make(map[int]bool)
+	var forall func(i int) bool
+	forall = func(i int) bool {
+		if i > nX+nY {
+			_, ok := f.SolveWithFixed(fixed)
+			return ok
+		}
+		for _, val := range []bool{false, true} {
+			fixed[i] = val
+			if !forall(i + 1) {
+				return false
+			}
+		}
+		delete(fixed, i)
+		return true
+	}
+	var exists func(i int) (map[int]bool, bool)
+	exists = func(i int) (map[int]bool, bool) {
+		if i > nX {
+			if forall(nX + 1) {
+				out := make(map[int]bool, nX)
+				for v := 1; v <= nX; v++ {
+					out[v] = fixed[v]
+				}
+				return out, true
+			}
+			return nil, false
+		}
+		for _, val := range []bool{false, true} {
+			fixed[i] = val
+			if w, ok := exists(i + 1); ok {
+				return w, ok
+			}
+		}
+		delete(fixed, i)
+		return nil, false
+	}
+	return exists(1)
+}

@@ -1,0 +1,190 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	if NewCNF(2, Clause{1, -2}).Validate() != nil {
+		t.Fatal("valid CNF rejected")
+	}
+	if NewCNF(2, Clause{}).Validate() == nil {
+		t.Fatal("empty clause accepted")
+	}
+	if NewCNF(2, Clause{3}).Validate() == nil {
+		t.Fatal("out-of-range literal accepted")
+	}
+	if NewCNF(1, Clause{0}).Validate() == nil {
+		t.Fatal("zero literal accepted")
+	}
+}
+
+func TestSolveSimple(t *testing.T) {
+	// (x1 | x2) & (!x1 | x2) & (!x2 | x3)
+	f := NewCNF(3, Clause{1, 2}, Clause{-1, 2}, Clause{-2, 3})
+	a, ok := f.Solve()
+	if !ok {
+		t.Fatal("satisfiable formula reported unsat")
+	}
+	if !f.Eval(a) {
+		t.Fatalf("returned non-model %v", a)
+	}
+}
+
+func TestSolveUnsat(t *testing.T) {
+	// x1 & !x1
+	f := NewCNF(1, Clause{1}, Clause{-1})
+	if _, ok := f.Solve(); ok {
+		t.Fatal("unsat formula reported sat")
+	}
+	// Pigeonhole-ish: x1|x2, !x1|!x2, x1|!x2, !x1|x2 is unsat.
+	g := NewCNF(2, Clause{1, 2}, Clause{-1, -2}, Clause{1, -2}, Clause{-1, 2})
+	if _, ok := g.Solve(); ok {
+		t.Fatal("unsat 2-var formula reported sat")
+	}
+}
+
+func TestSolveWithFixed(t *testing.T) {
+	f := NewCNF(2, Clause{1, 2})
+	if _, ok := f.SolveWithFixed(map[int]bool{1: false, 2: false}); ok {
+		t.Fatal("fixed-false assignment cannot satisfy x1|x2")
+	}
+	a, ok := f.SolveWithFixed(map[int]bool{1: false})
+	if !ok || !a[2] {
+		t.Fatalf("expected x2=true completion, got %v %v", a, ok)
+	}
+}
+
+// bruteSat is an independent reference solver.
+func bruteSat(f *CNF, fixed map[int]bool) bool {
+	n := f.NumVars
+	a := make(Assignment, n+1)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i > n {
+			return f.Eval(a)
+		}
+		if val, ok := fixed[i]; ok {
+			a[i] = val
+			return rec(i + 1)
+		}
+		for _, v := range []bool{false, true} {
+			a[i] = v
+			if rec(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(1)
+}
+
+func randomCNF(rng *rand.Rand, nVars, nClauses int) *CNF {
+	f := NewCNF(nVars)
+	for i := 0; i < nClauses; i++ {
+		cl := make(Clause, 3)
+		for j := range cl {
+			l := Literal(rng.Intn(nVars) + 1)
+			if rng.Intn(2) == 0 {
+				l = -l
+			}
+			cl[j] = l
+		}
+		f.Clauses = append(f.Clauses, cl)
+	}
+	return f
+}
+
+func TestDPLLAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		f := randomCNF(rng, 2+rng.Intn(6), 1+rng.Intn(12))
+		_, got := f.Solve()
+		want := bruteSat(f, nil)
+		if got != want {
+			t.Fatalf("trial %d: DPLL=%v brute=%v on %s", trial, got, want, f)
+		}
+	}
+}
+
+// bruteForallExists is an independent reference for ∀∃ evaluation.
+func bruteForallExists(f *CNF, nX int) bool {
+	fixed := make(map[int]bool)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i > nX {
+			return bruteSat(f, fixed)
+		}
+		for _, v := range []bool{false, true} {
+			fixed[i] = v
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		delete(fixed, i)
+		return true
+	}
+	return rec(1)
+}
+
+func TestForallExistsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(4)
+		f := randomCNF(rng, n, 2+rng.Intn(8))
+		nX := 1 + rng.Intn(n-1)
+		if got, want := ForallExists(f, nX), bruteForallExists(f, nX); got != want {
+			t.Fatalf("trial %d: got %v want %v (nX=%d, %s)", trial, got, want, nX, f)
+		}
+	}
+}
+
+func TestForallExistsKnown(t *testing.T) {
+	// ∀x1 ∃x2: (x1 | x2) & (!x1 | !x2) — x2 = !x1 works: true.
+	f := NewCNF(2, Clause{1, 2}, Clause{-1, -2})
+	if !ForallExists(f, 1) {
+		t.Fatal("∀x∃y xor-ish must be true")
+	}
+	// ∀x1 ∃x2: x1 — false for x1=false.
+	g := NewCNF(2, Clause{1})
+	if ForallExists(g, 1) {
+		t.Fatal("∀x∃y x must be false")
+	}
+}
+
+func TestExistsForallExists(t *testing.T) {
+	// ∃x1 ∀x2 ∃x3: (x1) & (x2 | x3) & (!x2 | x3): pick x1=1, x3=1. True.
+	f := NewCNF(3, Clause{1}, Clause{2, 3}, Clause{-2, 3})
+	if !ExistsForallExists(f, 1, 1) {
+		t.Fatal("expected true")
+	}
+	w, ok := ExistsWitness(f, 1, 1)
+	if !ok || !w[1] {
+		t.Fatalf("witness: %v %v", w, ok)
+	}
+	// ∃x1 ∀x2 ∃x3: (x1 | x2) & (!x2): false (x2=true kills clause 2).
+	g := NewCNF(3, Clause{1, 2}, Clause{-2})
+	if ExistsForallExists(g, 1, 1) {
+		t.Fatal("expected false")
+	}
+	if _, ok := ExistsWitness(g, 1, 1); ok {
+		t.Fatal("witness for false sentence")
+	}
+}
+
+func TestLiteralHelpers(t *testing.T) {
+	if Literal(-3).Var() != 3 || Literal(3).Var() != 3 {
+		t.Fatal("Var wrong")
+	}
+	if Literal(-3).Positive() || !Literal(3).Positive() {
+		t.Fatal("Positive wrong")
+	}
+}
+
+func TestString(t *testing.T) {
+	f := NewCNF(2, Clause{1, -2})
+	if f.String() != "(x1|!x2)" {
+		t.Fatalf("String = %s", f)
+	}
+}

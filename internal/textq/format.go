@@ -1,0 +1,79 @@
+package textq
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// FormatSchemas renders schemas as "rel …" declarations in name order.
+func FormatSchemas(schemas map[string]*relation.Schema) string {
+	names := make([]string, 0, len(schemas))
+	for n := range schemas {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	var b strings.Builder
+	for _, n := range names {
+		s := schemas[n]
+		parts := make([]string, len(s.Attrs))
+		for i, a := range s.Attrs {
+			if a.Domain.Kind == relation.Finite {
+				vals := make([]string, len(a.Domain.Values))
+				for j, v := range a.Domain.Values {
+					vals[j] = quoteIfNeeded(string(v))
+				}
+				parts[i] = fmt.Sprintf("%s: {%s}", a.Name, strings.Join(vals, ", "))
+			} else {
+				parts[i] = a.Name
+			}
+		}
+		fmt.Fprintf(&b, "rel %s(%s)\n", s.Name, strings.Join(parts, ", "))
+	}
+	return b.String()
+}
+
+// FormatDatabase renders a database as fact lines, relation by relation
+// in name order, tuples in deterministic order.
+func FormatDatabase(d *relation.Database) string {
+	var b strings.Builder
+	for _, name := range d.Relations() {
+		for _, t := range d.Instance(name).Tuples() {
+			parts := make([]string, len(t))
+			for i, v := range t {
+				parts[i] = quoteIfNeeded(string(v))
+			}
+			fmt.Fprintf(&b, "%s(%s).\n", name, strings.Join(parts, ", "))
+		}
+	}
+	return b.String()
+}
+
+// quoteIfNeeded quotes values the lexer could not re-read bare: empty
+// strings, values with non-identifier characters, and identifiers that
+// would parse as variables.
+func quoteIfNeeded(s string) string {
+	if s == "" {
+		return `""`
+	}
+	bare := true
+	for _, r := range s {
+		if !isIdentRune(r) {
+			bare = false
+			break
+		}
+	}
+	if bare {
+		return s
+	}
+	return `"` + s + `"`
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

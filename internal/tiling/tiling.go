@@ -1,0 +1,220 @@
+// Package tiling implements the 2ⁿ×2ⁿ tiling problem used by the
+// NEXPTIME-hardness proof of Theorem 4.5(2) in Fan & Geerts: given a
+// tile set T with horizontal and vertical compatibility relations H and
+// V and a distinguished first tile t₀, decide whether a 2ⁿ×2ⁿ grid can
+// be tiled such that V(f(i,j), f(i+1,j)) and H(f(i,j), f(i,j+1)) hold
+// everywhere and f(1,1) = t₀. The package also provides the hypertile
+// machinery (rank-i hypertiles are 2ⁱ×2ⁱ squares built from four
+// rank-(i−1) hypertiles) that the relational encoding of the reduction
+// mirrors.
+package tiling
+
+import (
+	"fmt"
+)
+
+// Tile is a tile index (0-based into the instance's tile set).
+type Tile int
+
+// Pair is an ordered tile pair for the compatibility relations.
+type Pair struct{ A, B Tile }
+
+// Instance is a tiling problem instance.
+type Instance struct {
+	// NumTiles is |T|; tiles are 0..NumTiles-1 and tile 0 is t₀.
+	NumTiles int
+	// N is the exponent: the grid is 2^N × 2^N.
+	N int
+	// V holds the vertical compatibility pairs: V[(a,b)] means tile b
+	// may appear directly below tile a.
+	V map[Pair]bool
+	// H holds the horizontal compatibility pairs: H[(a,b)] means tile b
+	// may appear directly to the right of tile a.
+	H map[Pair]bool
+}
+
+// New builds an empty instance.
+func New(numTiles, n int) *Instance {
+	return &Instance{NumTiles: numTiles, N: n, V: make(map[Pair]bool), H: make(map[Pair]bool)}
+}
+
+// AllowV permits tile b directly below tile a.
+func (in *Instance) AllowV(a, b Tile) { in.V[Pair{a, b}] = true }
+
+// AllowH permits tile b directly to the right of tile a.
+func (in *Instance) AllowH(a, b Tile) { in.H[Pair{a, b}] = true }
+
+// Size returns the side length 2^N.
+func (in *Instance) Size() int { return 1 << in.N }
+
+// Validate checks basic sanity.
+func (in *Instance) Validate() error {
+	if in.NumTiles < 1 {
+		return fmt.Errorf("tiling: need at least one tile")
+	}
+	if in.N < 0 || in.N > 20 {
+		return fmt.Errorf("tiling: unreasonable exponent %d", in.N)
+	}
+	check := func(m map[Pair]bool, name string) error {
+		for p := range m {
+			if p.A < 0 || int(p.A) >= in.NumTiles || p.B < 0 || int(p.B) >= in.NumTiles {
+				return fmt.Errorf("tiling: %s pair %v out of range", name, p)
+			}
+		}
+		return nil
+	}
+	if err := check(in.V, "V"); err != nil {
+		return err
+	}
+	return check(in.H, "H")
+}
+
+// Grid is a tiling candidate: Grid[i][j] is the tile at row i, column j
+// (0-based; row 0 column 0 is position (1,1) of the paper).
+type Grid [][]Tile
+
+// Check reports whether the grid is a valid tiling of the instance.
+func (in *Instance) Check(g Grid) bool {
+	size := in.Size()
+	if len(g) != size {
+		return false
+	}
+	for i := 0; i < size; i++ {
+		if len(g[i]) != size {
+			return false
+		}
+	}
+	if g[0][0] != 0 {
+		return false // f(1,1) = t₀
+	}
+	for i := 0; i < size; i++ {
+		for j := 0; j < size; j++ {
+			if i+1 < size && !in.V[Pair{g[i][j], g[i+1][j]}] {
+				return false
+			}
+			if j+1 < size && !in.H[Pair{g[i][j], g[i][j+1]}] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Solve searches for a tiling by backtracking in row-major order.
+// It returns the grid and true when one exists. Exponential in the grid
+// area; intended for the small n of the reduction validation.
+func (in *Instance) Solve() (Grid, bool) {
+	size := in.Size()
+	g := make(Grid, size)
+	for i := range g {
+		g[i] = make([]Tile, size)
+		for j := range g[i] {
+			g[i][j] = -1
+		}
+	}
+	var rec func(pos int) bool
+	rec = func(pos int) bool {
+		if pos == size*size {
+			return true
+		}
+		i, j := pos/size, pos%size
+		for t := 0; t < in.NumTiles; t++ {
+			if pos == 0 && t != 0 {
+				break // f(1,1) = t₀
+			}
+			tile := Tile(t)
+			if i > 0 && !in.V[Pair{g[i-1][j], tile}] {
+				continue
+			}
+			if j > 0 && !in.H[Pair{g[i][j-1], tile}] {
+				continue
+			}
+			g[i][j] = tile
+			if rec(pos + 1) {
+				return true
+			}
+			g[i][j] = -1
+		}
+		return false
+	}
+	if rec(0) {
+		return g, true
+	}
+	return nil, false
+}
+
+// Solvable reports whether a tiling exists.
+func (in *Instance) Solvable() bool {
+	_, ok := in.Solve()
+	return ok
+}
+
+// Hypertile is a 2ⁱ×2ⁱ square of tiles, the inductive object of the
+// Theorem 4.5(2) encoding: rank 0 is a single tile; rank i+1 is a
+// quadruple of rank-i hypertiles laid out as (top-left, top-right,
+// bottom-left, bottom-right).
+type Hypertile struct {
+	Rank int
+	// Tile is set for rank 0.
+	Tile Tile
+	// Quarters are the four sub-hypertiles for rank > 0, in the order
+	// TL, TR, BL, BR.
+	Quarters [4]*Hypertile
+}
+
+// FromGrid decomposes a 2^n×2^n grid into its rank-n hypertile.
+func FromGrid(g Grid) *Hypertile {
+	return fromRegion(g, 0, 0, len(g))
+}
+
+func fromRegion(g Grid, top, left, size int) *Hypertile {
+	if size == 1 {
+		return &Hypertile{Rank: 0, Tile: g[top][left]}
+	}
+	h := size / 2
+	rank := 0
+	for s := size; s > 1; s /= 2 {
+		rank++
+	}
+	return &Hypertile{
+		Rank: rank,
+		Quarters: [4]*Hypertile{
+			fromRegion(g, top, left, h),
+			fromRegion(g, top, left+h, h),
+			fromRegion(g, top+h, left, h),
+			fromRegion(g, top+h, left+h, h),
+		},
+	}
+}
+
+// ToGrid reassembles the hypertile into a grid.
+func (h *Hypertile) ToGrid() Grid {
+	size := 1 << h.Rank
+	g := make(Grid, size)
+	for i := range g {
+		g[i] = make([]Tile, size)
+	}
+	h.fill(g, 0, 0)
+	return g
+}
+
+func (h *Hypertile) fill(g Grid, top, left int) {
+	if h.Rank == 0 {
+		g[top][left] = h.Tile
+		return
+	}
+	s := 1 << (h.Rank - 1)
+	h.Quarters[0].fill(g, top, left)
+	h.Quarters[1].fill(g, top, left+s)
+	h.Quarters[2].fill(g, top+s, left)
+	h.Quarters[3].fill(g, top+s, left+s)
+}
+
+// TopLeftTile returns the tile at the top-left corner, the Z attribute
+// of the relational encoding.
+func (h *Hypertile) TopLeftTile() Tile {
+	for h.Rank > 0 {
+		h = h.Quarters[0]
+	}
+	return h.Tile
+}

@@ -1,0 +1,129 @@
+package tiling
+
+import "testing"
+
+// freeInstance allows everything: always solvable.
+func freeInstance(tiles, n int) *Instance {
+	in := New(tiles, n)
+	for a := 0; a < tiles; a++ {
+		for b := 0; b < tiles; b++ {
+			in.AllowV(Tile(a), Tile(b))
+			in.AllowH(Tile(a), Tile(b))
+		}
+	}
+	return in
+}
+
+func TestSolveFree(t *testing.T) {
+	in := freeInstance(2, 1)
+	g, ok := in.Solve()
+	if !ok {
+		t.Fatal("free instance must be solvable")
+	}
+	if !in.Check(g) {
+		t.Fatal("Solve returned invalid grid")
+	}
+	if g[0][0] != 0 {
+		t.Fatal("first tile must be t0")
+	}
+}
+
+func TestSolveCheckerboard(t *testing.T) {
+	// Two tiles that must alternate in both directions.
+	in := New(2, 1)
+	in.AllowV(0, 1)
+	in.AllowV(1, 0)
+	in.AllowH(0, 1)
+	in.AllowH(1, 0)
+	g, ok := in.Solve()
+	if !ok {
+		t.Fatal("checkerboard must be solvable")
+	}
+	if !in.Check(g) {
+		t.Fatal("invalid checkerboard")
+	}
+	if g[0][1] != 1 || g[1][0] != 1 || g[1][1] != 0 {
+		t.Fatalf("unexpected grid %v", g)
+	}
+}
+
+func TestSolveUnsolvable(t *testing.T) {
+	// t0 has no allowed right neighbour: 2x2 cannot be tiled.
+	in := New(2, 1)
+	in.AllowV(0, 1)
+	in.AllowV(1, 1)
+	in.AllowH(1, 1)
+	if in.Solvable() {
+		t.Fatal("unsolvable instance reported solvable")
+	}
+}
+
+func TestSolve4x4(t *testing.T) {
+	in := freeInstance(3, 2)
+	g, ok := in.Solve()
+	if !ok || len(g) != 4 {
+		t.Fatalf("4x4 free instance: %v %v", g, ok)
+	}
+	if !in.Check(g) {
+		t.Fatal("invalid 4x4 grid")
+	}
+}
+
+func TestCheckRejects(t *testing.T) {
+	in := New(2, 1)
+	in.AllowV(0, 0)
+	in.AllowH(0, 0)
+	good := Grid{{0, 0}, {0, 0}}
+	if !in.Check(good) {
+		t.Fatal("valid grid rejected")
+	}
+	badFirst := Grid{{1, 0}, {0, 0}}
+	if in.Check(badFirst) {
+		t.Fatal("grid with wrong first tile accepted")
+	}
+	badShape := Grid{{0, 0}}
+	if in.Check(badShape) {
+		t.Fatal("wrong-shape grid accepted")
+	}
+	in2 := New(2, 1)
+	in2.AllowV(0, 0)
+	// No H pairs: horizontal adjacency must fail.
+	if in2.Check(good) {
+		t.Fatal("grid violating H accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	in := New(2, 1)
+	in.AllowV(0, 1)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	in.AllowH(0, 5)
+	if in.Validate() == nil {
+		t.Fatal("out-of-range pair accepted")
+	}
+	if New(0, 1).Validate() == nil {
+		t.Fatal("zero tiles accepted")
+	}
+}
+
+func TestHypertileRoundTrip(t *testing.T) {
+	in := freeInstance(3, 2)
+	g, _ := in.Solve()
+	h := FromGrid(g)
+	if h.Rank != 2 {
+		t.Fatalf("rank = %d", h.Rank)
+	}
+	back := h.ToGrid()
+	for i := range g {
+		for j := range g[i] {
+			if g[i][j] != back[i][j] {
+				t.Fatalf("round trip mismatch at %d,%d", i, j)
+			}
+		}
+	}
+	if h.TopLeftTile() != g[0][0] {
+		t.Fatal("TopLeftTile wrong")
+	}
+}
