@@ -1,0 +1,31 @@
+# Tier-1 gate: everything `make ci` runs must stay green.
+
+GO ?= go
+
+.PHONY: ci build vet test race bench bench-workers fmt-check
+
+ci: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel valuation-search engine is validated under the race
+# detector; internal/core contains all shared-state code paths.
+race:
+	$(GO) test -race ./internal/core/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Sequential-vs-parallel series only (see EXPERIMENTS.md).
+bench-workers:
+	$(GO) test -bench='Workers' -run=^$$ .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

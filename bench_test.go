@@ -17,6 +17,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/cc"
@@ -221,6 +222,71 @@ func BenchmarkRCQP_CRM(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ---------------------------------------------------------------------
+// Parallel engine (workers ablation)
+// ---------------------------------------------------------------------
+
+// benchWorkerCounts is the workers axis for the parallel-engine series:
+// the sequential ablation (1), the hardware default (GOMAXPROCS), and a
+// fixed oversubscribed point (8) so the series is comparable across
+// machines. Duplicates are removed.
+func benchWorkerCounts() []int {
+	counts := []int{1, runtime.GOMAXPROCS(0), 8}
+	seen := map[int]bool{}
+	var out []int
+	for _, w := range counts {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// BenchmarkRCDP_Workers is the sequential-vs-parallel series on the
+// ∀∃-3SAT RCDP family: the same instances as
+// BenchmarkRCDP_CQ_INDs_ForallExists, swept over the workers axis.
+// Verdicts and witnesses are identical across the axis (see
+// TestParallelRCDPMatchesSequential); only wall-clock may differ.
+func BenchmarkRCDP_Workers(b *testing.B) {
+	for _, n := range []int{6, 8, 10} {
+		inst := forallExistsInstance(b, n)
+		for _, w := range benchWorkerCounts() {
+			ck := &core.Checker{Workers: w}
+			b.Run(fmt.Sprintf("vars=%d/workers=%d", n, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := ck.RCDP(inst.Q, inst.D, inst.Dm, inst.V); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRCQP_Workers is the workers series on the coNP 3SAT RCQP
+// family (E3/E4 disjunct races plus nested RCDP confirmations on the
+// shared pool).
+func BenchmarkRCQP_Workers(b *testing.B) {
+	for _, n := range []int{8, 12} {
+		phi := benchCNF(n, 3*n, int64(n)+17)
+		inst, err := reductions.ThreeSATToRCQP(phi)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range benchWorkerCounts() {
+			ck := &core.QPChecker{Checker: core.Checker{Workers: w}}
+			b.Run(fmt.Sprintf("vars=%d/workers=%d", n, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := ck.RCQP(inst.Q, inst.Dm, inst.V, inst.Schemas); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }
 
 // ---------------------------------------------------------------------

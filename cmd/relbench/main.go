@@ -6,13 +6,15 @@
 // undecidable row it validates the executable reduction on bounded
 // instances. See EXPERIMENTS.md for the recorded results.
 //
-// Usage: relbench [-table 0|1|2] [-quick]
+// Usage: relbench [-table 0|1|2] [-quick] [-workers N] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/automata"
@@ -26,10 +28,41 @@ import (
 	"repro/internal/tiling"
 )
 
+var (
+	// checker carries the -workers setting into every sweep (1 =
+	// sequential engine, >1 = parallel valuation search).
+	checker  core.Checker
+	jsonMode bool
+	records  []benchRecord
+)
+
+// benchRecord is one timed sweep data point for -json output.
+type benchRecord struct {
+	Table      string `json:"table"`
+	Name       string `json:"name"`
+	Param      int    `json:"param"`
+	Workers    int    `json:"workers"`
+	DurationNS int64  `json:"duration_ns"`
+	Agree      *bool  `json:"agree,omitempty"`
+}
+
+func record(table, name string, param int, dur time.Duration, agree *bool) {
+	records = append(records, benchRecord{
+		Table: table, Name: name, Param: param,
+		Workers: checker.Workers, DurationNS: dur.Nanoseconds(), Agree: agree,
+	})
+}
+
 func main() {
 	table := flag.Int("table", 0, "which table to regenerate (1, 2, or 0 for both)")
 	quick := flag.Bool("quick", false, "smaller sweeps")
+	workers := flag.Int("workers", 0, "valuation-search workers (0 = GOMAXPROCS, 1 = sequential)")
+	flag.BoolVar(&jsonMode, "json", false, "emit timed sweep results as JSON instead of tables")
 	flag.Parse()
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	checker = core.Checker{Workers: *workers}
 	if *table == 0 || *table == 1 {
 		if err := tableI(*quick); err != nil {
 			fail(err)
@@ -37,6 +70,16 @@ func main() {
 	}
 	if *table == 0 || *table == 2 {
 		if err := tableII(*quick); err != nil {
+			fail(err)
+		}
+	}
+	if jsonMode {
+		if records == nil {
+			records = []benchRecord{} // emit [] rather than null when no sweeps ran
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
 			fail(err)
 		}
 	}
@@ -48,6 +91,9 @@ func fail(err error) {
 }
 
 func header(s string) {
+	if jsonMode {
+		return
+	}
 	fmt.Printf("\n%s\n", s)
 	for range s {
 		fmt.Print("=")
@@ -55,7 +101,12 @@ func header(s string) {
 	fmt.Println()
 }
 
-func row(format string, args ...any) { fmt.Printf("  "+format+"\n", args...) }
+func row(format string, args ...any) {
+	if jsonMode {
+		return
+	}
+	fmt.Printf("  "+format+"\n", args...)
+}
 
 // ---------------------------------------------------------------------
 // Table I — RCDP(L_Q, L_C)
@@ -85,7 +136,9 @@ func tableI(quick bool) error {
 	if !quick {
 		sizes = append(sizes, 10, 12)
 	}
-	fmt.Println()
+	if !jsonMode {
+		fmt.Println()
+	}
 	row("(CQ, INDs)        Σ₂ᵖ-complete  [Thm 3.6(1)] ∀∃-3SAT query-complexity sweep (fixed Dm, V — Cor 3.7):")
 	for _, nv := range sizes {
 		dur, agree, err := sweepForallExists(nv)
@@ -212,7 +265,7 @@ func sweepForallExists(nVars int) (time.Duration, bool, error) {
 		return 0, false, err
 	}
 	start := time.Now()
-	r, err := core.RCDP(inst.Q, inst.D, inst.Dm, inst.V)
+	r, err := checker.RCDP(inst.Q, inst.D, inst.Dm, inst.V)
 	if err != nil {
 		return 0, false, err
 	}
@@ -221,6 +274,7 @@ func sweepForallExists(nVars int) (time.Duration, bool, error) {
 	if nVars <= 10 {
 		agree = r.Complete == sat.ForallExists(phi, nX)
 	}
+	record("I", "forall-exists-3sat", nVars, dur, &agree)
 	return dur, agree, nil
 }
 
@@ -233,10 +287,12 @@ func sweepCRMData(customers int) (time.Duration, error) {
 	vset := cc.NewSet(mdm.Phi0(), mdm.Phi1(cfg.MaxSupport))
 	q := mdm.Q0("908")
 	start := time.Now()
-	if _, err := core.RCDP(q, s.D, s.Dm, vset); err != nil {
+	if _, err := checker.RCDP(q, s.D, s.Dm, vset); err != nil {
 		return 0, err
 	}
-	return time.Since(start), nil
+	dur := time.Since(start)
+	record("I", "crm-data", customers, dur, nil)
+	return dur, nil
 }
 
 func sweepUCQ(disjuncts int) (time.Duration, error) {
@@ -246,10 +302,12 @@ func sweepUCQ(disjuncts int) (time.Duration, error) {
 	vset := cc.NewSet(mdm.Phi0())
 	u := buildAreaUnion(disjuncts)
 	start := time.Now()
-	if _, err := core.RCDP(u, s.D, s.Dm, vset); err != nil {
+	if _, err := checker.RCDP(u, s.D, s.Dm, vset); err != nil {
 		return 0, err
 	}
-	return time.Since(start), nil
+	dur := time.Since(start)
+	record("I", "ucq-union", disjuncts, dur, nil)
+	return dur, nil
 }
 
 func sweepEFO() (time.Duration, error) {
@@ -259,10 +317,12 @@ func sweepEFO() (time.Duration, error) {
 	vset := cc.NewSet(mdm.Phi0())
 	q := buildAreaEFO()
 	start := time.Now()
-	if _, err := core.RCDP(q, s.D, s.Dm, vset); err != nil {
+	if _, err := checker.RCDP(q, s.D, s.Dm, vset); err != nil {
 		return 0, err
 	}
-	return time.Since(start), nil
+	dur := time.Since(start)
+	record("I", "efo-dnf", 0, dur, nil)
+	return dur, nil
 }
 
 // ---------------------------------------------------------------------
@@ -280,7 +340,9 @@ func tableII(quick bool) error {
 	row("(FP, fixed FP)    undecidable   [Thm 4.1(3)] 2-head-DFA machinery (bounded demo)")
 	row("(CQ, FP)          undecidable   [Thm 4.1(4)] 2-head-DFA machinery (bounded demo)")
 
-	fmt.Println()
+	if !jsonMode {
+		fmt.Println()
+	}
 	sizes := []int{4, 8, 12}
 	if !quick {
 		sizes = append(sizes, 16, 20)
@@ -351,13 +413,14 @@ func sweepThreeSAT(nVars int) (time.Duration, bool, error) {
 		return 0, false, err
 	}
 	start := time.Now()
-	res, err := core.RCQP(inst.Q, inst.Dm, inst.V, inst.Schemas)
+	res, err := (&core.QPChecker{Checker: checker}).RCQP(inst.Q, inst.Dm, inst.V, inst.Schemas)
 	if err != nil {
 		return 0, false, err
 	}
 	dur := time.Since(start)
 	_, satisfiable := phi.Solve()
 	agree := (res.Status == core.No) == satisfiable
+	record("II", "3sat-rcqp", nVars, dur, &agree)
 	return dur, agree, nil
 }
 
@@ -380,14 +443,16 @@ func sweepTiling(n int) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
-	r, err := core.RCDP(inst.Q, w, inst.Dm, inst.V)
+	r, err := checker.RCDP(inst.Q, w, inst.Dm, inst.V)
 	if err != nil {
 		return 0, err
 	}
 	if !r.Complete {
 		return 0, fmt.Errorf("tiling witness rejected")
 	}
-	return time.Since(start), nil
+	dur := time.Since(start)
+	record("II", "tiling", n, dur, nil)
+	return dur, nil
 }
 
 func sweepEFE(nX, nY, nZ int) (time.Duration, bool, error) {
@@ -401,18 +466,20 @@ func sweepEFE(nX, nY, nZ int) (time.Duration, bool, error) {
 	agree := true
 	if holds {
 		d := reductions.EFEWitness(inst, witnessX)
-		r, err := core.RCDP(inst.Q, d, inst.Dm, inst.V)
+		r, err := checker.RCDP(inst.Q, d, inst.Dm, inst.V)
 		if err != nil {
 			return 0, false, err
 		}
 		agree = r.Complete
 	} else {
 		d := reductions.EFEWitness(inst, map[int]bool{})
-		r, err := core.RCDP(inst.Q, d, inst.Dm, inst.V)
+		r, err := checker.RCDP(inst.Q, d, inst.Dm, inst.V)
 		if err != nil {
 			return 0, false, err
 		}
 		agree = !r.Complete
 	}
-	return time.Since(start), agree, nil
+	dur := time.Since(start)
+	record("II", "efe-3sat", nX+nY+nZ, dur, &agree)
+	return dur, agree, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/cc"
 	"repro/internal/qlang"
@@ -30,6 +31,12 @@ type BoundedOpts struct {
 	// MaxPool caps the candidate tuple pool; the search fails with an
 	// error when the schema/value combination exceeds it.
 	MaxPool int
+	// Workers sizes the worker pool of BoundedRCDP's subset enumeration
+	// with the same convention as Checker.Workers: 0 uses GOMAXPROCS, 1
+	// forces sequential search. The witness is deterministic either way
+	// (first-tuple branches race on a raceCtl, smallest branch wins);
+	// Explored becomes a total-work counter in parallel mode.
+	Workers int
 }
 
 func (o BoundedOpts) withDefaults() BoundedOpts {
@@ -84,6 +91,9 @@ func BoundedRCDP(q qlang.Query, d, dm *relation.Database, v *cc.Set, opts Bounde
 	if err != nil {
 		return nil, err
 	}
+	if wp := newWorkerPool(o.Workers); wp != nil {
+		return boundedRCDPParallel(q, d, dm, v, o, pool, baseSet, len(base), wp)
+	}
 	res := &BoundedRCDPResult{MaxAdd: o.MaxAdd}
 
 	// Enumerate subsets of the pool of size 1..MaxAdd.
@@ -91,27 +101,13 @@ func BoundedRCDP(q qlang.Query, d, dm *relation.Database, v *cc.Set, opts Bounde
 	rec = func(start int, cur *relation.Database, added int) (*BoundedRCDPResult, error) {
 		if added > 0 {
 			res.Explored++
-			if ok, err := v.Satisfied(cur, dm); err != nil {
+			r, err := boundedCounterexample(q, dm, v, baseSet, len(base), cur, o.MaxAdd)
+			if err != nil {
 				return nil, err
-			} else if ok {
-				ans, err := q.Eval(cur)
-				if err != nil {
-					return nil, err
-				}
-				for _, t := range ans {
-					if !baseSet[t.Key()] {
-						ext := emptyDatabase(schemasOf(cur))
-						ext.UnionInto(cur)
-						return &BoundedRCDPResult{Incomplete: true, Extension: ext, NewTuple: t, Explored: res.Explored, MaxAdd: o.MaxAdd}, nil
-					}
-				}
-				if len(ans) != len(base) {
-					// An answer disappeared: impossible for monotone
-					// languages, possible for FO/FP.
-					ext := emptyDatabase(schemasOf(cur))
-					ext.UnionInto(cur)
-					return &BoundedRCDPResult{Incomplete: true, Extension: ext, Explored: res.Explored, MaxAdd: o.MaxAdd}, nil
-				}
+			}
+			if r != nil {
+				r.Explored = res.Explored
+				return r, nil
 			}
 		}
 		if added == o.MaxAdd {
@@ -140,6 +136,117 @@ func BoundedRCDP(q qlang.Query, d, dm *relation.Database, v *cc.Set, opts Bounde
 		return r, nil
 	}
 	return res, nil
+}
+
+// boundedCounterexample checks one candidate extension: is cur partially
+// closed and does it change Q's answer? It returns a result without the
+// Explored count (the caller owns the accounting) and reads only shared
+// warmed/immutable inputs, so parallel branches may call it directly.
+func boundedCounterexample(q qlang.Query, dm *relation.Database, v *cc.Set,
+	baseSet map[string]bool, baseLen int, cur *relation.Database, maxAdd int) (*BoundedRCDPResult, error) {
+	if ok, err := v.Satisfied(cur, dm); err != nil {
+		return nil, err
+	} else if !ok {
+		return nil, nil
+	}
+	ans, err := q.Eval(cur)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range ans {
+		if !baseSet[t.Key()] {
+			ext := emptyDatabase(schemasOf(cur))
+			ext.UnionInto(cur)
+			return &BoundedRCDPResult{Incomplete: true, Extension: ext, NewTuple: t, MaxAdd: maxAdd}, nil
+		}
+	}
+	if len(ans) != baseLen {
+		// An answer disappeared: impossible for monotone languages,
+		// possible for FO/FP.
+		ext := emptyDatabase(schemasOf(cur))
+		ext.UnionInto(cur)
+		return &BoundedRCDPResult{Incomplete: true, Extension: ext, MaxAdd: maxAdd}, nil
+	}
+	return nil, nil
+}
+
+// boundedRCDPParallel fans the first-tuple branches of the subset
+// enumeration out to the pool: branch i explores exactly the subsets
+// whose smallest pool index is i, which partitions the sequential
+// search's pre-order into branch-major segments — so the smallest
+// claiming branch's DFS-first counterexample is the one the sequential
+// engine returns. Explored becomes the total work across all branches
+// (the sequential early return makes the per-scheduling count
+// meaningless; the witness itself is scheduling-independent).
+func boundedRCDPParallel(q qlang.Query, d, dm *relation.Database, v *cc.Set, o BoundedOpts,
+	pool []poolTuple, baseSet map[string]bool, baseLen int, wp *workerPool) (*BoundedRCDPResult, error) {
+	warmShared(d, dm)
+	ctl := newRaceCtl()
+	var explored atomic.Int64
+	tasks := make([]func(), 0, len(pool))
+	for bi := range pool {
+		bi := bi
+		tasks = append(tasks, func() {
+			key := int64(bi)
+			if ctl.cancelled(key) {
+				return
+			}
+			if d.Contains(pool[bi].rel, pool[bi].tup) {
+				return
+			}
+			first := d.Clone()
+			if err := first.Add(pool[bi].rel, pool[bi].tup); err != nil {
+				return // finite-domain violation: not a legal tuple
+			}
+			var rec func(start int, cur *relation.Database, added int) error
+			rec = func(start int, cur *relation.Database, added int) error {
+				if ctl.cancelled(key) {
+					return errAbandoned
+				}
+				explored.Add(1)
+				r, err := boundedCounterexample(q, dm, v, baseSet, baseLen, cur, o.MaxAdd)
+				if err != nil {
+					return err
+				}
+				if r != nil {
+					ctl.claim(key, r)
+					return errStop
+				}
+				if added == o.MaxAdd {
+					return nil
+				}
+				for i := start; i < len(pool); i++ {
+					if d.Contains(pool[i].rel, pool[i].tup) {
+						continue
+					}
+					next := cur.Clone()
+					if err := next.Add(pool[i].rel, pool[i].tup); err != nil {
+						continue
+					}
+					if err := rec(i+1, next, added+1); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			switch err := rec(bi+1, first, 1); err {
+			case nil, errStop, errAbandoned:
+			default:
+				ctl.fail(err)
+			}
+		})
+	}
+	wp.run(tasks)
+	val, _, err := ctl.result()
+	if err != nil {
+		return nil, err
+	}
+	if val != nil {
+		r := val.(*BoundedRCDPResult)
+		r.Explored = int(explored.Load())
+		return r, nil
+	}
+	return &BoundedRCDPResult{MaxAdd: o.MaxAdd, Explored: int(explored.Load())}, nil
 }
 
 type poolTuple struct {

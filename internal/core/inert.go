@@ -124,7 +124,14 @@ func collapsibleVars(t *cq.Tableau, constrained map[string]map[int]bool, doms ma
 // from the front, so the two never collide as long as the pool holds
 // one fresh value per variable).
 func (s *valuationSearch) applyCollapse(v *cc.Set) {
-	constrained := inertPositions(v)
+	s.applyCollapseFrom(inertPositions(v))
+}
+
+// applyCollapseFrom is applyCollapse with the inert-position analysis
+// precomputed. The analysis depends only on V, so multi-disjunct
+// callers (and the parallel engine, which shares the resulting
+// collapsed map read-only across workers) compute it once.
+func (s *valuationSearch) applyCollapseFrom(constrained map[string]map[int]bool) {
 	vars := collapsibleVars(s.t, constrained, s.doms)
 	if len(vars) == 0 {
 		return

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerPool bounds the number of goroutines a (possibly nested) family
+// of parallel searches may occupy. It is deliberately not a classic
+// fixed-worker executor: run drains its task list with the *calling*
+// goroutine plus however many helper slots it can grab from the shared
+// semaphore. Because the caller always participates, a task that itself
+// calls run — RCQP candidate checks invoke RCDP, whose disjunct search
+// fans out branches on the same pool — can never deadlock waiting for a
+// slot: when the pool is saturated the nested work simply degrades to
+// sequential execution on the goroutine that submitted it.
+type workerPool struct {
+	// sem holds one token per helper goroutine beyond the callers
+	// themselves, so a pool built for n workers runs at most n
+	// goroutines when a single top-level run is active.
+	sem chan struct{}
+}
+
+// newWorkerPool sizes a pool for the given worker count (<=1 returns
+// nil, the sentinel for purely sequential execution).
+func newWorkerPool(workers int) *workerPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 {
+		return nil
+	}
+	return &workerPool{sem: make(chan struct{}, workers-1)}
+}
+
+// run executes every task, pulling from the list in index order (lower
+// indexes are higher priority — the deterministic-witness resolution
+// prefers them, so starting them first minimizes wasted speculation).
+// It returns when all tasks have finished. Safe for concurrent and
+// nested use; a nil pool runs the tasks sequentially in order.
+func (p *workerPool) run(tasks []func()) {
+	if len(tasks) == 0 {
+		return
+	}
+	if p == nil || len(tasks) == 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= len(tasks) {
+				return
+			}
+			tasks[i]()
+		}
+	}
+	var wg sync.WaitGroup
+spawn:
+	// At most len(tasks)-1 helpers: the caller handles the rest.
+	for k := 0; k < len(tasks)-1; k++ {
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() { <-p.sem; wg.Done() }()
+				work()
+			}()
+		default:
+			break spawn // saturated; caller picks up the slack
+		}
+	}
+	work()
+	wg.Wait()
+}

@@ -14,11 +14,17 @@ import (
 // assignments). Non-IND constraints are ignored here — they are checked
 // exactly on complete valuations by the caller — so pruning is always
 // sound and, for all-IND V, also complete per-template.
+//
+// Sharing discipline: byRel (including the allowed-key sets computed
+// from Dm), templates and tplOf are immutable after newINDPruner and
+// are shared by clones; tplRemain is the backtracking state and is the
+// only per-worker field (see clone).
 type indPruner struct {
 	// byRel maps a relation to its INDs' (columns, allowed tuple keys).
 	byRel map[string][]indCheck
-	// tplVars[i] is the number of distinct unassigned variables left in
-	// template i; tplOf maps a variable to the templates containing it.
+	// tplRemain[i] is the number of distinct unassigned variables left
+	// in template i; tplOf maps a variable to the templates containing
+	// it.
 	templates []query.RelAtom
 	tplRemain []int
 	tplOf     map[string][]int
@@ -68,6 +74,19 @@ func newINDPruner(t *cq.Tableau, v *cc.Set, dm *relation.Database) *indPruner {
 		return nil
 	}
 	return p
+}
+
+// clone returns a pruner with private backtracking counters. The
+// structural fields — byRel with its Dm-derived allowed-key sets,
+// templates, tplOf — are read-only after construction and shared, so a
+// clone is one small slice copy; each parallel search branch takes one.
+func (p *indPruner) clone() *indPruner {
+	if p == nil {
+		return nil
+	}
+	cp := *p
+	cp.tplRemain = append([]int(nil), p.tplRemain...)
+	return &cp
 }
 
 // assign records that variable name was just bound and checks every

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/cc"
+	"repro/internal/cq"
 	"repro/internal/qlang"
 	"repro/internal/query"
 	"repro/internal/relation"
@@ -21,12 +23,17 @@ type RCDPResult struct {
 	// Disjunct, when incomplete, is the index of the query disjunct
 	// that produced the counterexample.
 	Disjunct int
-	// Valuations is the number of candidate valuations inspected.
+	// Valuations is the number of candidate valuations inspected. It is
+	// a work counter, not part of the verdict: the parallel engine
+	// counts speculative work that the sequential engine's early return
+	// skips, so only Workers=1 runs reproduce it exactly.
 	Valuations int
 }
 
 // Checker configures the decision procedures. The zero value uses
-// pruned backtracking with no budget.
+// pruned backtracking with no budget on a single goroutine... almost:
+// Workers=0 means "one worker per CPU", so the zero value actually uses
+// all hardware; set Workers=1 for the strictly sequential engine.
 type Checker struct {
 	// Naive disables inequality pruning and fresh-value symmetry
 	// breaking in the valuation search (ablation ABL-1 of DESIGN.md).
@@ -34,6 +41,21 @@ type Checker struct {
 	// MaxValuations, when positive, caps the number of candidate
 	// valuations per disjunct; exceeding it returns ErrBudgetExceeded.
 	MaxValuations int
+	// Workers is the size of the valuation-search worker pool: 0 uses
+	// runtime.GOMAXPROCS(0), 1 forces the sequential engine, n > 1 fans
+	// the top-level candidate branches of every disjunct out to n
+	// goroutines. Verdicts and witnesses are scheduling-independent
+	// (see DESIGN.md, "Parallel search"): the parallel engine returns
+	// byte-identical verdict/Extension/NewTuple/Disjunct to Workers=1.
+	Workers int
+}
+
+// effectiveWorkers resolves the Workers field to a concrete count.
+func (ck *Checker) effectiveWorkers() int {
+	if ck.Workers > 0 {
+		return ck.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // RCDP decides the relatively complete database problem with the
@@ -59,6 +81,13 @@ func RCDP(q qlang.Query, d, dm *relation.Database, v *cc.Set) (*RCDPResult, erro
 // (Theorem 3.1: undecidable) — use BoundedRCDP for those — or with a D
 // that is not partially closed with respect to (Dm, V).
 func (ck *Checker) RCDP(q qlang.Query, d, dm *relation.Database, v *cc.Set) (*RCDPResult, error) {
+	return ck.rcdp(q, d, dm, v, nil)
+}
+
+// rcdp is RCDP with an optional externally-owned worker pool, so that
+// RCQP's candidate checks and the RCDP disjunct searches they trigger
+// draw goroutines from one shared pool instead of multiplying.
+func (ck *Checker) rcdp(q qlang.Query, d, dm *relation.Database, v *cc.Set, pool *workerPool) (*RCDPResult, error) {
 	if !q.Lang().Monotone() {
 		return nil, fmt.Errorf("core: RCDP is undecidable for L_Q = %v (Theorem 3.1); use BoundedRCDP", q.Lang())
 	}
@@ -81,14 +110,23 @@ func (ck *Checker) RCDP(q qlang.Query, d, dm *relation.Database, v *cc.Set) (*RC
 	}
 
 	tableaux := q.Tableaux()
-	res := &RCDPResult{Complete: true}
 	if len(tableaux) == 0 {
 		// Unsatisfiable query: trivially complete.
-		return res, nil
+		return &RCDPResult{Complete: true}, nil
 	}
 	schemas := schemasOf(d)
 	u := NewUniverse(d, dm, q, v, tableauVarCount(tableaux))
 
+	// The inert-position and relevant-value analyses depend only on
+	// (Q, V, D, Dm), not on the disjunct: compute them once here and
+	// share them read-only across disjuncts (and workers).
+	var constrained map[string]map[int]bool
+	var rv *relevantValues
+	if !ck.Naive {
+		constrained = inertPositions(v)
+		rv = computeRelevantValues(q, v, d, dm)
+	}
+	searches := make([]*valuationSearch, len(tableaux))
 	for di, t := range tableaux {
 		search, ok := newValuationSearch(u, t, schemas)
 		if !ok {
@@ -98,38 +136,39 @@ func (ck *Checker) RCDP(q qlang.Query, d, dm *relation.Database, v *cc.Set) (*RC
 		search.budget = ck.MaxValuations
 		if !ck.Naive {
 			search.pruner = newINDPruner(t, v, dm)
-			search.applyCollapse(v)
-			search.applyRelevant(q, v, d, dm)
+			search.applyCollapseFrom(constrained)
+			search.applyRelevantFrom(rv)
+		}
+		searches[di] = search
+	}
+
+	if workers := ck.effectiveWorkers(); workers > 1 {
+		if pool == nil {
+			pool = newWorkerPool(workers)
+		}
+		if pool != nil {
+			return ck.rcdpParallel(pool, tableaux, searches, d, dm, v, schemas, answerSet)
+		}
+	}
+
+	res := &RCDPResult{Complete: true}
+	for di, t := range tableaux {
+		search := searches[di]
+		if search == nil {
+			continue
 		}
 		var found *RCDPResult
 		var cbErr error
 		err := search.run(func(b query.Binding) bool {
-			head, ok := t.HeadTuple(b)
-			if !ok {
-				return true
-			}
-			if answerSet[head.Key()] {
-				return true // already answered; cannot change Q(D)
-			}
-			delta, err := t.Apply(b, schemas)
+			r, err := rcdpWitness(t, di, b, schemas, answerSet, d, dm, v)
 			if err != nil {
 				cbErr = err
 				return false
 			}
-			sat, err := v.SatisfiedDelta(d, delta, dm)
-			if err != nil {
-				cbErr = err
-				return false
+			if r == nil {
+				return true // not a counterexample; keep searching
 			}
-			if !sat {
-				return true // extension violates V; keep searching
-			}
-			found = &RCDPResult{
-				Complete:  false,
-				Extension: delta,
-				NewTuple:  head,
-				Disjunct:  di,
-			}
+			found = r
 			return false
 		})
 		res.Valuations += search.visited
@@ -140,11 +179,103 @@ func (ck *Checker) RCDP(q qlang.Query, d, dm *relation.Database, v *cc.Set) (*RC
 			return nil, err
 		}
 		if found != nil {
+			// Valuations counts everything inspected up to and
+			// including this disjunct; later disjuncts are never
+			// searched (see TestRCDPValuationsAccounting).
 			found.Valuations = res.Valuations
 			return found, nil
 		}
 	}
 	return res, nil
+}
+
+// rcdpWitness decides whether the complete valuation b of disjunct di's
+// tableau is a counterexample to completeness, and if so builds the
+// result. It reads only warmed/immutable shared state (answerSet, D,
+// Dm, V, schemas) and allocates fresh output objects, so the parallel
+// engine may call it concurrently.
+func rcdpWitness(t *cq.Tableau, di int, b query.Binding, schemas map[string]*relation.Schema,
+	answerSet map[string]bool, d, dm *relation.Database, v *cc.Set) (*RCDPResult, error) {
+	head, ok := t.HeadTuple(b)
+	if !ok {
+		return nil, nil
+	}
+	if answerSet[head.Key()] {
+		return nil, nil // already answered; cannot change Q(D)
+	}
+	delta, err := t.Apply(b, schemas)
+	if err != nil {
+		return nil, err
+	}
+	sat, err := v.SatisfiedDelta(d, delta, dm)
+	if err != nil {
+		return nil, err
+	}
+	if !sat {
+		return nil, nil // extension violates V; keep searching
+	}
+	return &RCDPResult{
+		Complete:  false,
+		Extension: delta,
+		NewTuple:  head,
+		Disjunct:  di,
+	}, nil
+}
+
+// rcdpParallel runs the disjunct searches on the worker pool: the
+// top-level candidate branches of every disjunct become one flat,
+// lexicographically ordered task list, a shared raceCtl arbitrates
+// claims to the smallest (disjunct, branch) key, and per-disjunct
+// budget controllers preserve the MaxValuations semantics. See
+// DESIGN.md, "Parallel search", for the determinism argument.
+func (ck *Checker) rcdpParallel(pool *workerPool, tableaux []*cq.Tableau, searches []*valuationSearch,
+	d, dm *relation.Database, v *cc.Set, schemas map[string]*relation.Schema, answerSet map[string]bool) (*RCDPResult, error) {
+	warmShared(d, dm)
+	ctl := newRaceCtl()
+	budgets := make([]*budgetCtl, len(tableaux))
+	var tasks []func()
+	for di, t := range tableaux {
+		search := searches[di]
+		if search == nil {
+			continue
+		}
+		t, di := t, di
+		budgets[di] = newBudgetCtl(ck.MaxValuations)
+		fn := func(b query.Binding) (any, error) {
+			r, err := rcdpWitness(t, di, b, schemas, answerSet, d, dm, v)
+			if err != nil {
+				return nil, err
+			}
+			if r == nil {
+				return nil, nil
+			}
+			return r, nil
+		}
+		tasks = append(tasks, search.branchTasks(ctl, budgets[di], di, fn)...)
+	}
+	pool.run(tasks)
+
+	total := 0
+	for _, bud := range budgets {
+		if bud != nil {
+			total += bud.count()
+		}
+	}
+	val, key, err := ctl.result()
+	if err != nil {
+		return nil, err
+	}
+	if key == noKey {
+		return &RCDPResult{Complete: true, Valuations: total}, nil
+	}
+	if val == nil {
+		// A budget-exhaustion claim won: some disjunct ran out of
+		// budget and no witness with a smaller key exists.
+		return nil, ErrBudgetExceeded
+	}
+	r := val.(*RCDPResult)
+	r.Valuations = total
+	return r, nil
 }
 
 // IsComplete is a convenience wrapper returning only the verdict.

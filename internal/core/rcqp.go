@@ -109,10 +109,15 @@ func (ck *QPChecker) RCQP(q qlang.Query, dm *relation.Database, v *cc.Set, schem
 		return nil, fmt.Errorf("core: RCQP is undecidable for L_C = %v (Theorem 4.1); use BoundedRCQP", v.MaxLang())
 	}
 	cfg := ck.withDefaults()
+	// One pool shared by every parallel search this call triggers: the
+	// E3/E4 disjunct searches, the certificate search's candidate
+	// checks, and the RCDP confirmations nested inside them (nil when
+	// the checker resolves to a single worker).
+	wp := newWorkerPool(cfg.Checker.effectiveWorkers())
 	if v.AllINDs() {
-		return cfg.rcqpINDs(q, dm, v, schemas)
+		return cfg.rcqpINDs(q, dm, v, schemas, wp)
 	}
-	return cfg.rcqpGeneral(q, dm, v, schemas)
+	return cfg.rcqpGeneral(q, dm, v, schemas, wp)
 }
 
 // headVarPositions returns, for each head variable of the tableau, the
@@ -147,7 +152,7 @@ func headVarOccurrences(t *cq.Tableau) map[string][]varPosition {
 // a finite domain (E3) — or (b) admits no valid valuation μ with
 // (μ(T_i), Dm) ⊨ V at all. INDs check tuple-by-tuple, which makes the
 // per-disjunct analysis exact.
-func (cfg QPChecker) rcqpINDs(q qlang.Query, dm *relation.Database, v *cc.Set, schemas map[string]*relation.Schema) (*RCQPResult, error) {
+func (cfg QPChecker) rcqpINDs(q qlang.Query, dm *relation.Database, v *cc.Set, schemas map[string]*relation.Schema, wp *workerPool) (*RCQPResult, error) {
 	bounded, ok := v.BoundedColumns()
 	if !ok {
 		return nil, fmt.Errorf("core: rcqpINDs called with non-IND constraints")
@@ -155,6 +160,16 @@ func (cfg QPChecker) rcqpINDs(q qlang.Query, dm *relation.Database, v *cc.Set, s
 	tableaux := q.Tableaux()
 	u := NewUniverse(nil, dm, q, v, tableauVarCount(tableaux))
 
+	// Boundedness analysis per disjunct (cheap, sequential); the
+	// valuation searches of the unbounded disjuncts are the expensive
+	// part and are what gets fanned out below.
+	type unboundedDisjunct struct {
+		di     int
+		name   string // the uncovered head variable
+		t      *cq.Tableau
+		search *valuationSearch
+	}
+	var pending []unboundedDisjunct
 	for di, t := range tableaux {
 		search, okT := newValuationSearch(u, t, schemas)
 		if !okT {
@@ -189,32 +204,76 @@ func (cfg QPChecker) rcqpINDs(q qlang.Query, dm *relation.Database, v *cc.Set, s
 			continue // disjunct bounded
 		}
 		// Unbounded disjunct: RCQ is nonempty only if no valid valuation
-		// satisfies V.
-		var witness query.Binding
-		err := search.run(func(b query.Binding) bool {
-			delta, err := t.Apply(b, schemas)
-			if err != nil {
-				return true
+		// satisfies V. (A disjunct with no valid valuation at all can
+		// never produce an answer in a partially closed database.)
+		pending = append(pending, unboundedDisjunct{di: di, name: unbounded, t: t, search: search})
+	}
+
+	noResult := func(di int, name string, witness query.Binding) *RCQPResult {
+		return &RCQPResult{
+			Status: No,
+			Method: "E3/E4",
+			Detail: fmt.Sprintf("disjunct %d: head variable %s has an infinite domain, is covered by no IND, and valuation %v satisfies V — answers can always be extended with fresh values", di, name, witness),
+		}
+	}
+
+	if wp != nil && len(pending) > 0 {
+		// Parallel path: the branches of every unbounded disjunct race on
+		// one raceCtl; the smallest (disjunct, branch) claim is exactly
+		// the witness the sequential loop above would have found first.
+		warmShared(dm)
+		ctl := newRaceCtl()
+		names := make(map[int]string, len(pending))
+		var tasks []func()
+		for _, ud := range pending {
+			ud := ud
+			names[ud.di] = ud.name
+			fn := func(b query.Binding) (any, error) {
+				delta, err := ud.t.Apply(b, schemas)
+				if err != nil {
+					return nil, nil // mirror sequential: skip, keep searching
+				}
+				sat, err := v.Satisfied(delta, dm)
+				if err != nil || !sat {
+					return nil, nil
+				}
+				// The binding is worker-owned and unwound after return:
+				// clone before claiming.
+				return b.Clone(), nil
 			}
-			sat, err := v.Satisfied(delta, dm)
-			if err != nil || !sat {
-				return true
-			}
-			witness = b.Clone()
-			return false
-		})
+			tasks = append(tasks, ud.search.branchTasks(ctl, newBudgetCtl(0), ud.di, fn)...)
+		}
+		wp.run(tasks)
+		val, key, err := ctl.result()
 		if err != nil {
 			return nil, err
 		}
-		if witness != nil {
-			return &RCQPResult{
-				Status: No,
-				Method: "E3/E4",
-				Detail: fmt.Sprintf("disjunct %d: head variable %s has an infinite domain, is covered by no IND, and valuation %v satisfies V — answers can always be extended with fresh values", di, unbounded, witness),
-			}, nil
+		if key != noKey {
+			di := keyDisjunct(key)
+			return noResult(di, names[di], val.(query.Binding)), nil
 		}
-		// No valid valuation at all: the disjunct can never produce an
-		// answer in a partially closed database.
+	} else {
+		for _, ud := range pending {
+			var witness query.Binding
+			err := ud.search.run(func(b query.Binding) bool {
+				delta, err := ud.t.Apply(b, schemas)
+				if err != nil {
+					return true
+				}
+				sat, err := v.Satisfied(delta, dm)
+				if err != nil || !sat {
+					return true
+				}
+				witness = b.Clone()
+				return false
+			})
+			if err != nil {
+				return nil, err
+			}
+			if witness != nil {
+				return noResult(ud.di, ud.name, witness), nil
+			}
+		}
 	}
 	res := &RCQPResult{Status: Yes, Method: "E3/E4"}
 	if w, err := CompleteDatabaseINDs(q, dm, v, schemas, cfg.MaxCandidates); err == nil && w != nil {
@@ -230,7 +289,7 @@ func (cfg QPChecker) rcqpINDs(q qlang.Query, dm *relation.Database, v *cc.Set, s
 // a partial valuation of a constraint tableau (the D⁻ shape) or a full
 // valuation of a query tableau (the D⁺ shape), plus the constant
 // templates of T_Q; each candidate is confirmed by RCDP.
-func (cfg QPChecker) rcqpGeneral(q qlang.Query, dm *relation.Database, v *cc.Set, schemas map[string]*relation.Schema) (*RCQPResult, error) {
+func (cfg QPChecker) rcqpGeneral(q qlang.Query, dm *relation.Database, v *cc.Set, schemas map[string]*relation.Schema, wp *workerPool) (*RCQPResult, error) {
 	tableaux := q.Tableaux()
 	if len(tableaux) == 0 {
 		// Unsatisfiable query: every partially closed database is
@@ -263,7 +322,7 @@ func (cfg QPChecker) rcqpGeneral(q qlang.Query, dm *relation.Database, v *cc.Set
 	}
 	if allFinite {
 		res := &RCQPResult{Status: Yes, Method: "E1", Detail: "all output variables range over finite domains"}
-		if w, n, err := cfg.searchWitness(q, dm, v, schemas); err == nil && w != nil {
+		if w, n, err := cfg.searchWitness(q, dm, v, schemas, wp); err == nil && w != nil {
 			res.Witness = w
 			res.Candidates = n
 		}
@@ -271,7 +330,7 @@ func (cfg QPChecker) rcqpGeneral(q qlang.Query, dm *relation.Database, v *cc.Set
 	}
 
 	// Certificate search.
-	w, n, err := cfg.searchWitness(q, dm, v, schemas)
+	w, n, err := cfg.searchWitness(q, dm, v, schemas, wp)
 	if err != nil {
 		return nil, err
 	}
@@ -303,8 +362,10 @@ func emptyDatabase(schemas map[string]*relation.Schema) *relation.Database {
 // searchWitness enumerates candidate witness databases and returns the
 // first one confirmed complete by RCDP, with the number of candidates
 // tried. A nil result with nil error means no witness was found within
-// the caps.
-func (cfg QPChecker) searchWitness(q qlang.Query, dm *relation.Database, v *cc.Set, schemas map[string]*relation.Schema) (*relation.Database, int, error) {
+// the caps. With a non-nil worker pool the iterative-deepening stage
+// checks candidates in parallel chunks; the winner (and the reported
+// candidate count) is the pre-order-first witness either way.
+func (cfg QPChecker) searchWitness(q qlang.Query, dm *relation.Database, v *cc.Set, schemas map[string]*relation.Schema, wp *workerPool) (*relation.Database, int, error) {
 	pool, base, err := cfg.buildFragmentPool(q, dm, v, schemas)
 	if err != nil {
 		return nil, 0, err
@@ -315,7 +376,7 @@ func (cfg QPChecker) searchWitness(q qlang.Query, dm *relation.Database, v *cc.S
 		if ok, err := v.Satisfied(cand, dm); err != nil || !ok {
 			return nil, err
 		}
-		r, err := cfg.Checker.RCDP(q, cand, dm, v)
+		r, err := cfg.Checker.rcdp(q, cand, dm, v, wp)
 		if err != nil {
 			// Budget errors inside a candidate just skip the candidate.
 			if err == ErrBudgetExceeded {
@@ -341,7 +402,9 @@ func (cfg QPChecker) searchWitness(q qlang.Query, dm *relation.Database, v *cc.S
 	// problem's constants signals an unbounded answer direction that no
 	// amount of growing can close, so the strategy aborts early and the
 	// fragment search takes over (it can still find blocking witnesses
-	// like D⁻ of Example 4.1).
+	// like D⁻ of Example 4.1). The rounds are inherently sequential
+	// (each extends the previous counterexample), but the inner RCDP
+	// calls fan their disjunct searches out on the shared pool.
 	if ok, err := v.Satisfied(base, dm); err == nil && ok {
 		known := make(map[relation.Value]bool)
 		for _, val := range NewUniverse(base, dm, q, v, 0).Consts {
@@ -350,7 +413,7 @@ func (cfg QPChecker) searchWitness(q qlang.Query, dm *relation.Database, v *cc.S
 		cur := base.Clone()
 		for round := 0; round < 64; round++ {
 			tried++
-			r, err := cfg.Checker.RCDP(q, cur, dm, v)
+			r, err := cfg.Checker.rcdp(q, cur, dm, v, wp)
 			if err != nil {
 				break
 			}
@@ -369,6 +432,10 @@ func (cfg QPChecker) searchWitness(q qlang.Query, dm *relation.Database, v *cc.S
 			}
 			cur.UnionInto(r.Extension)
 		}
+	}
+	if wp != nil {
+		w, n, err := cfg.deepenParallel(wp, q, dm, v, schemas, pool, base, tried)
+		return w, n, err
 	}
 	// Iterative deepening over fragment combinations.
 	var rec func(start int, acc *relation.Database, depth int) (*relation.Database, error)
@@ -400,6 +467,118 @@ func (cfg QPChecker) searchWitness(q qlang.Query, dm *relation.Database, v *cc.S
 		}
 	}
 	return nil, tried, nil
+}
+
+// deepenParallel is the iterative-deepening stage of searchWitness on a
+// worker pool. Candidates are generated on the coordinating goroutine
+// in exactly the sequential pre-order, tagged with their enumeration
+// index, and checked in chunks; within a chunk a raceCtl resolves to
+// the smallest index that confirms, so the returned witness — and the
+// reported candidate count, which replays the sequential accounting
+// "everything up to and including the winner" — match Workers=1.
+func (cfg QPChecker) deepenParallel(wp *workerPool, q qlang.Query, dm *relation.Database, v *cc.Set,
+	schemas map[string]*relation.Schema, pool []*relation.Database, base *relation.Database, pretried int) (*relation.Database, int, error) {
+	limit := cfg.MaxCandidates - pretried // checks the sequential engine would still allow
+	if limit <= 0 {
+		return nil, pretried, nil
+	}
+	warmShared(dm)
+	chunkSize := cfg.Checker.effectiveWorkers() * 4
+	if chunkSize < 4 {
+		chunkSize = 4
+	}
+	var (
+		winner    *relation.Database
+		winnerIdx = -1
+		chunk     []*relation.Database
+		idx       int // global enumeration index of the next candidate
+	)
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		ctl := newRaceCtl()
+		baseIdx := idx - len(chunk)
+		tasks := make([]func(), len(chunk))
+		for i, cand := range chunk {
+			i, cand := i, cand
+			tasks[i] = func() {
+				key := int64(baseIdx + i)
+				if ctl.cancelled(key) {
+					return
+				}
+				ok, err := v.Satisfied(cand, dm)
+				if err != nil {
+					ctl.fail(err)
+					return
+				}
+				if !ok {
+					return
+				}
+				r, err := cfg.Checker.rcdp(q, cand, dm, v, wp)
+				if err != nil {
+					if err != ErrBudgetExceeded { // budget skips the candidate
+						ctl.fail(err)
+					}
+					return
+				}
+				if r.Complete {
+					ctl.claim(key, cand)
+				}
+			}
+		}
+		wp.run(tasks)
+		chunk = chunk[:0]
+		val, key, err := ctl.result()
+		if err != nil {
+			return err
+		}
+		if val != nil {
+			winner = val.(*relation.Database)
+			winnerIdx = int(key)
+		}
+		return nil
+	}
+	var gen func(start int, acc *relation.Database, depth int) error
+	gen = func(start int, acc *relation.Database, depth int) error {
+		if depth == 0 {
+			return nil
+		}
+		for i := start; i < len(pool); i++ {
+			if idx >= limit {
+				return errStop
+			}
+			cand := acc.Union(pool[i])
+			chunk = append(chunk, cand)
+			idx++
+			if len(chunk) >= chunkSize {
+				if err := flush(); err != nil {
+					return err
+				}
+				if winner != nil {
+					return errStop
+				}
+			}
+			if err := gen(i+1, cand, depth-1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for depth := 1; depth <= cfg.MaxSetSize; depth++ {
+		if err := gen(0, base, depth); err == errStop {
+			break
+		} else if err != nil {
+			return nil, pretried + idx, err
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, pretried + idx, err
+	}
+	if winner != nil {
+		return winner, pretried + winnerIdx + 1, nil
+	}
+	return nil, pretried + idx, nil
 }
 
 // buildFragmentPool assembles the candidate fragments: instantiations

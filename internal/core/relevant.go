@@ -194,7 +194,15 @@ func (rv *relevantValues) candidatesFor(positions []varPosition) []relation.Valu
 // applyRelevant installs restricted candidate sets for every
 // non-collapsed, infinite-domain variable of the search.
 func (s *valuationSearch) applyRelevant(q interface{ Constants() []relation.Value }, v *cc.Set, d, dm *relation.Database) {
-	rv := computeRelevantValues(q, v, d, dm)
+	s.applyRelevantFrom(computeRelevantValues(q, v, d, dm))
+}
+
+// applyRelevantFrom is applyRelevant with the linked-position analysis
+// precomputed. The analysis depends only on (Q, V, D, Dm) — not on the
+// disjunct — so multi-disjunct callers compute it once; the installed
+// candidate slices are read-only afterwards and safe to share across
+// parallel workers.
+func (s *valuationSearch) applyRelevantFrom(rv *relevantValues) {
 	occ := allVarOccurrences(s.t)
 	if s.candidates == nil {
 		s.candidates = make(map[string][]relation.Value, len(s.t.Vars))

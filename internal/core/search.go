@@ -26,6 +26,14 @@ var errStop = errors.New("core: stop")
 // valuations whose ground templates already violate an inclusion
 // dependency of V — the backtracking realization of the Σ₂ᵖ
 // certificate guess of Theorem 3.6.
+//
+// Sharing discipline: after setup (newValuationSearch + pruner/
+// applyCollapse/applyRelevant) everything here except pruner, budget
+// and visited is read-only and may be shared across the worker
+// goroutines of a parallel search (see parallel.go). The pruner field
+// is the per-search *template*: workers clone it (indPruner.clone) to
+// get private backtracking counters; budget/visited are only used by
+// the sequential run path (parallel searches use a shared budgetCtl).
 type valuationSearch struct {
 	u     *Universe
 	t     *cq.Tableau
@@ -107,44 +115,11 @@ func (s *valuationSearch) run(fn func(b query.Binding) bool) error {
 			return nil
 		}
 		v := vars[i]
-		dom := s.doms[v]
-		var candidates []relation.Value
-		if cv, ok := s.collapsed[v]; ok && !s.naive {
-			candidates = []relation.Value{cv}
-		} else if dom.Kind == relation.Finite {
-			candidates = dom.Values
-		} else {
-			candidates = s.u.Consts
-			if cs, ok := s.candidates[v]; ok && !s.naive {
-				candidates = cs
-			}
-			// Symmetry breaking: fresh values are interchangeable, so
-			// only the first unused one (plus already-used ones) need be
-			// tried. The naive mode tries the full fresh pool.
-			limit := freshUsed + 1
-			if s.naive || limit > len(s.u.Fresh) {
-				limit = len(s.u.Fresh)
-			}
-			candidates = append(append([]relation.Value{}, candidates...), s.u.Fresh[:limit]...)
-		}
-		for _, val := range candidates {
+		for _, val := range s.candidatesFor(v, freshUsed) {
 			b[v] = val
-			if !s.naive {
-				ok := true
-				for _, dq := range s.t.Diseqs {
-					if holds, known := dq.Holds(b); known && !holds {
-						ok = false
-						break
-					}
-				}
-				if ok && s.pruner != nil && !s.pruner.assign(v, b) {
-					s.pruner.unassign(v)
-					ok = false
-				}
-				if !ok {
-					delete(b, v)
-					continue
-				}
+			if !s.admitAssign(s.pruner, v, b) {
+				delete(b, v)
+				continue
 			}
 			nf := freshUsed
 			if s.u.IsFresh(val) && isNthFresh(s.u, val, freshUsed) {
@@ -166,6 +141,52 @@ func (s *valuationSearch) run(fn func(b query.Binding) bool) error {
 		return nil
 	}
 	return err
+}
+
+// candidatesFor returns the candidate values tried for variable v at
+// symmetry level freshUsed, in deterministic order. Read-only with
+// respect to the search: both the sequential engine and the parallel
+// branch workers use it. The returned slice must not be modified.
+func (s *valuationSearch) candidatesFor(v string, freshUsed int) []relation.Value {
+	if cv, ok := s.collapsed[v]; ok && !s.naive {
+		return []relation.Value{cv}
+	}
+	if dom := s.doms[v]; dom.Kind == relation.Finite {
+		return dom.Values
+	}
+	candidates := s.u.Consts
+	if cs, ok := s.candidates[v]; ok && !s.naive {
+		candidates = cs
+	}
+	// Symmetry breaking: fresh values are interchangeable, so only the
+	// first unused one (plus already-used ones) need be tried. The
+	// naive mode tries the full fresh pool.
+	limit := freshUsed + 1
+	if s.naive || limit > len(s.u.Fresh) {
+		limit = len(s.u.Fresh)
+	}
+	return append(append([]relation.Value{}, candidates...), s.u.Fresh[:limit]...)
+}
+
+// admitAssign checks a just-made assignment b[v]: the inequality
+// conditions decidable on the partial valuation, then the IND pruner.
+// On false the pruner bookkeeping has been rolled back and the caller
+// must delete b[v]. The pruner is a parameter (not s.pruner) so that
+// parallel workers can pass their private clones.
+func (s *valuationSearch) admitAssign(pruner *indPruner, v string, b query.Binding) bool {
+	if s.naive {
+		return true
+	}
+	for _, dq := range s.t.Diseqs {
+		if holds, known := dq.Holds(b); known && !holds {
+			return false
+		}
+	}
+	if pruner != nil && !pruner.assign(v, b) {
+		pruner.unassign(v)
+		return false
+	}
+	return true
 }
 
 // isNthFresh reports whether val is the first not-yet-used fresh value

@@ -308,6 +308,11 @@ func (in *Instance) Tuples() []Tuple {
 	return in.sorted
 }
 
+// Warm populates the lazily-built tuple-order cache. All other reads of
+// an Instance are free of hidden writes, so a warmed instance can be
+// shared read-only across goroutines.
+func (in *Instance) Warm() { in.Tuples() }
+
 // Clone returns a deep copy sharing the schema.
 func (in *Instance) Clone() *Instance {
 	cp := NewInstance(in.Schema)
@@ -439,6 +444,19 @@ func (d *Database) Clone() *Database {
 		cp.rels[name] = in.Clone()
 	}
 	return cp
+}
+
+// Warm populates every instance's lazily-built tuple-order cache
+// (Instance.Tuples sorts on first use). Call it before sharing the
+// database read-only across goroutines: afterwards concurrent readers
+// never write, so no synchronization is needed on the read path.
+func (d *Database) Warm() {
+	if d == nil {
+		return
+	}
+	for _, in := range d.rels {
+		in.Warm()
+	}
 }
 
 // UnionInto adds all tuples of o into d. Relations of o missing from d
