@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-workers fmt-check
+.PHONY: ci build vet test race bench bench-smoke bench-workers fmt-check
 
-ci: vet build test race
+ci: vet build test race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# One iteration of every benchmark in every package: catches bit-rotted
+# benchmark code in CI without paying for real measurement runs.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 # Sequential-vs-parallel series only (see EXPERIMENTS.md).
 bench-workers:

@@ -348,6 +348,53 @@ func BenchmarkAblationDeltaCC(b *testing.B) {
 	})
 }
 
+// BenchmarkAblationIndexJoin compares the indexed, plan-aware join
+// engine against the pure nested-loop scan (-noindex) on the medium and
+// large CRM valuation-search workloads — the same instances as
+// BenchmarkRCDP_CQ_CQ_DataComplexity. The indexed engine must win by
+// ≥ 2× on these sizes (see EXPERIMENTS.md for the recorded series).
+func BenchmarkAblationIndexJoin(b *testing.B) {
+	defer cq.SetIndexJoin(cq.SetIndexJoin(true))
+	for _, n := range []int{200, 400} {
+		s, v := crmScenario(n)
+		q := mdm.Q0("908")
+		for _, mode := range []struct {
+			name string
+			on   bool
+		}{{"indexed", true}, {"noindex", false}} {
+			b.Run(fmt.Sprintf("customers=%d/%s", n, mode.name), func(b *testing.B) {
+				cq.SetIndexJoin(mode.on)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.RCDP(q, s.D, s.Dm, v); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationIndexEvalJoin is the same ablation at the CQ
+// evaluation layer, without the valuation search on top.
+func BenchmarkAblationIndexEvalJoin(b *testing.B) {
+	defer cq.SetIndexJoin(cq.SetIndexJoin(true))
+	s, _ := crmScenario(500)
+	q := qlang.Underlying(mdm.Q0("908")).(*cq.CQ)
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"indexed", true}, {"noindex", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cq.SetIndexJoin(mode.on)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Eval(s.D)
+			}
+		})
+	}
+}
+
 // ---------------------------------------------------------------------
 // Substrate micro-benchmarks
 // ---------------------------------------------------------------------

@@ -6,7 +6,7 @@
 // undecidable row it validates the executable reduction on bounded
 // instances. See EXPERIMENTS.md for the recorded results.
 //
-// Usage: relbench [-table 0|1|2] [-quick] [-workers N] [-json]
+// Usage: relbench [-table 0|1|2] [-quick] [-workers N] [-json] [-noindex]
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 	"repro/internal/automata"
 	"repro/internal/cc"
 	"repro/internal/core"
+	"repro/internal/cq"
 	"repro/internal/fo"
 	"repro/internal/mdm"
 	"repro/internal/query"
@@ -33,24 +34,42 @@ var (
 	// sequential engine, >1 = parallel valuation search).
 	checker  core.Checker
 	jsonMode bool
+	noIndex  bool
 	records  []benchRecord
 )
 
 // benchRecord is one timed sweep data point for -json output.
 type benchRecord struct {
-	Table      string `json:"table"`
-	Name       string `json:"name"`
-	Param      int    `json:"param"`
-	Workers    int    `json:"workers"`
-	DurationNS int64  `json:"duration_ns"`
-	Agree      *bool  `json:"agree,omitempty"`
+	Table       string `json:"table"`
+	Name        string `json:"name"`
+	Param       int    `json:"param"`
+	Workers     int    `json:"workers"`
+	NoIndex     bool   `json:"no_index"`
+	DurationNS  int64  `json:"duration_ns"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	Agree       *bool  `json:"agree,omitempty"`
 }
 
-func record(table, name string, param int, dur time.Duration, agree *bool) {
+func record(table, name string, param int, dur time.Duration, allocs int64, agree *bool) {
 	records = append(records, benchRecord{
 		Table: table, Name: name, Param: param,
-		Workers: checker.Workers, DurationNS: dur.Nanoseconds(), Agree: agree,
+		Workers: checker.Workers, NoIndex: noIndex,
+		DurationNS: dur.Nanoseconds(), AllocsPerOp: allocs, Agree: agree,
 	})
+}
+
+// timed runs f once, returning its wall time and the heap allocation
+// count attributable to the run (total Mallocs delta across all
+// goroutines — comparable between -noindex runs at equal -workers).
+func timed(f func() error) (time.Duration, int64, error) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	before := ms.Mallocs
+	start := time.Now()
+	err := f()
+	dur := time.Since(start)
+	runtime.ReadMemStats(&ms)
+	return dur, int64(ms.Mallocs - before), err
 }
 
 func main() {
@@ -58,11 +77,13 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller sweeps")
 	workers := flag.Int("workers", 0, "valuation-search workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.BoolVar(&jsonMode, "json", false, "emit timed sweep results as JSON instead of tables")
+	flag.BoolVar(&noIndex, "noindex", false, "disable the indexed join engine (ablation baseline)")
 	flag.Parse()
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
 	checker = core.Checker{Workers: *workers}
+	cq.SetIndexJoin(!noIndex)
 	if *table == 0 || *table == 1 {
 		if err := tableI(*quick); err != nil {
 			fail(err)
@@ -264,17 +285,20 @@ func sweepForallExists(nVars int) (time.Duration, bool, error) {
 	if err != nil {
 		return 0, false, err
 	}
-	start := time.Now()
-	r, err := checker.RCDP(inst.Q, inst.D, inst.Dm, inst.V)
+	var r *core.RCDPResult
+	dur, allocs, err := timed(func() error {
+		var e error
+		r, e = checker.RCDP(inst.Q, inst.D, inst.Dm, inst.V)
+		return e
+	})
 	if err != nil {
 		return 0, false, err
 	}
-	dur := time.Since(start)
 	agree := true
 	if nVars <= 10 {
 		agree = r.Complete == sat.ForallExists(phi, nX)
 	}
-	record("I", "forall-exists-3sat", nVars, dur, &agree)
+	record("I", "forall-exists-3sat", nVars, dur, allocs, &agree)
 	return dur, agree, nil
 }
 
@@ -286,12 +310,14 @@ func sweepCRMData(customers int) (time.Duration, error) {
 	s := mdm.Generate(cfg)
 	vset := cc.NewSet(mdm.Phi0(), mdm.Phi1(cfg.MaxSupport))
 	q := mdm.Q0("908")
-	start := time.Now()
-	if _, err := checker.RCDP(q, s.D, s.Dm, vset); err != nil {
+	dur, allocs, err := timed(func() error {
+		_, e := checker.RCDP(q, s.D, s.Dm, vset)
+		return e
+	})
+	if err != nil {
 		return 0, err
 	}
-	dur := time.Since(start)
-	record("I", "crm-data", customers, dur, nil)
+	record("I", "crm-data", customers, dur, allocs, nil)
 	return dur, nil
 }
 
@@ -301,12 +327,14 @@ func sweepUCQ(disjuncts int) (time.Duration, error) {
 	s := mdm.Generate(cfg)
 	vset := cc.NewSet(mdm.Phi0())
 	u := buildAreaUnion(disjuncts)
-	start := time.Now()
-	if _, err := checker.RCDP(u, s.D, s.Dm, vset); err != nil {
+	dur, allocs, err := timed(func() error {
+		_, e := checker.RCDP(u, s.D, s.Dm, vset)
+		return e
+	})
+	if err != nil {
 		return 0, err
 	}
-	dur := time.Since(start)
-	record("I", "ucq-union", disjuncts, dur, nil)
+	record("I", "ucq-union", disjuncts, dur, allocs, nil)
 	return dur, nil
 }
 
@@ -316,12 +344,14 @@ func sweepEFO() (time.Duration, error) {
 	s := mdm.Generate(cfg)
 	vset := cc.NewSet(mdm.Phi0())
 	q := buildAreaEFO()
-	start := time.Now()
-	if _, err := checker.RCDP(q, s.D, s.Dm, vset); err != nil {
+	dur, allocs, err := timed(func() error {
+		_, e := checker.RCDP(q, s.D, s.Dm, vset)
+		return e
+	})
+	if err != nil {
 		return 0, err
 	}
-	dur := time.Since(start)
-	record("I", "efo-dnf", 0, dur, nil)
+	record("I", "efo-dnf", 0, dur, allocs, nil)
 	return dur, nil
 }
 
@@ -412,15 +442,18 @@ func sweepThreeSAT(nVars int) (time.Duration, bool, error) {
 	if err != nil {
 		return 0, false, err
 	}
-	start := time.Now()
-	res, err := (&core.QPChecker{Checker: checker}).RCQP(inst.Q, inst.Dm, inst.V, inst.Schemas)
+	var res *core.RCQPResult
+	dur, allocs, err := timed(func() error {
+		var e error
+		res, e = (&core.QPChecker{Checker: checker}).RCQP(inst.Q, inst.Dm, inst.V, inst.Schemas)
+		return e
+	})
 	if err != nil {
 		return 0, false, err
 	}
-	dur := time.Since(start)
 	_, satisfiable := phi.Solve()
 	agree := (res.Status == core.No) == satisfiable
-	record("II", "3sat-rcqp", nVars, dur, &agree)
+	record("II", "3sat-rcqp", nVars, dur, allocs, &agree)
 	return dur, agree, nil
 }
 
@@ -438,20 +471,24 @@ func sweepTiling(n int) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
-	start := time.Now()
-	w, err := reductions.TilingWitness(inst, in, g)
+	dur, allocs, err := timed(func() error {
+		w, e := reductions.TilingWitness(inst, in, g)
+		if e != nil {
+			return e
+		}
+		r, e := checker.RCDP(inst.Q, w, inst.Dm, inst.V)
+		if e != nil {
+			return e
+		}
+		if !r.Complete {
+			return fmt.Errorf("tiling witness rejected")
+		}
+		return nil
+	})
 	if err != nil {
 		return 0, err
 	}
-	r, err := checker.RCDP(inst.Q, w, inst.Dm, inst.V)
-	if err != nil {
-		return 0, err
-	}
-	if !r.Complete {
-		return 0, fmt.Errorf("tiling witness rejected")
-	}
-	dur := time.Since(start)
-	record("II", "tiling", n, dur, nil)
+	record("II", "tiling", n, dur, allocs, nil)
 	return dur, nil
 }
 
@@ -461,25 +498,29 @@ func sweepEFE(nX, nY, nZ int) (time.Duration, bool, error) {
 	if err != nil {
 		return 0, false, err
 	}
-	start := time.Now()
-	witnessX, holds := sat.ExistsWitness(phi, nX, nY)
 	agree := true
-	if holds {
-		d := reductions.EFEWitness(inst, witnessX)
-		r, err := checker.RCDP(inst.Q, d, inst.Dm, inst.V)
-		if err != nil {
-			return 0, false, err
+	dur, allocs, err := timed(func() error {
+		witnessX, holds := sat.ExistsWitness(phi, nX, nY)
+		if holds {
+			d := reductions.EFEWitness(inst, witnessX)
+			r, e := checker.RCDP(inst.Q, d, inst.Dm, inst.V)
+			if e != nil {
+				return e
+			}
+			agree = r.Complete
+		} else {
+			d := reductions.EFEWitness(inst, map[int]bool{})
+			r, e := checker.RCDP(inst.Q, d, inst.Dm, inst.V)
+			if e != nil {
+				return e
+			}
+			agree = !r.Complete
 		}
-		agree = r.Complete
-	} else {
-		d := reductions.EFEWitness(inst, map[int]bool{})
-		r, err := checker.RCDP(inst.Q, d, inst.Dm, inst.V)
-		if err != nil {
-			return 0, false, err
-		}
-		agree = !r.Complete
+		return nil
+	})
+	if err != nil {
+		return 0, false, err
 	}
-	dur := time.Since(start)
-	record("II", "efe-3sat", nX+nY+nZ, dur, &agree)
+	record("II", "efe-3sat", nX+nY+nZ, dur, allocs, &agree)
 	return dur, agree, nil
 }

@@ -1,0 +1,102 @@
+package cc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// TestMasterSideCacheInvalidation pins the p(Dm) memoization: the cache
+// serves repeated checks against an unchanged Dm, and a mutation of the
+// projected master instance (generation bump) or a different Dm
+// invalidates it.
+func TestMasterSideCacheInvalidation(t *testing.T) {
+	d, dm := crmSchemas()
+	dm.MustAdd("DCust", "c1", "Ann", "908", "5550001")
+	d.MustAdd("Cust", "c1", "Ann", "01", "908", "5550001")
+	d.MustAdd("Supt", "e0", "sales", "c1")
+	phi := phi0()
+
+	if ok, err := phi.Satisfied(d, dm); err != nil || !ok {
+		t.Fatalf("phi0 should hold: ok=%v err=%v", ok, err)
+	}
+	// A new supported domestic customer, also added to the master: the
+	// constraint must keep holding — only if the cached projection is
+	// refreshed after dm changes.
+	dm.MustAdd("DCust", "c2", "Eve", "973", "5550002")
+	d.MustAdd("Cust", "c2", "Eve", "01", "973", "5550002")
+	d.MustAdd("Supt", "e1", "sales", "c2")
+	if ok, err := phi.Satisfied(d, dm); err != nil || !ok {
+		t.Fatalf("phi0 should hold after master grows: ok=%v err=%v", ok, err)
+	}
+	// Removing the master row must flip the verdict (stale cache would
+	// keep answering satisfied).
+	dm.Instance("DCust").Remove(relation.T("c2", "Eve", "973", "5550002"))
+	if ok, err := phi.Satisfied(d, dm); err != nil || ok {
+		t.Fatalf("phi0 should be violated after master row removal: ok=%v err=%v", ok, err)
+	}
+	// A different master database (fresh instance pointers) gets its own
+	// projection even at the same generation.
+	_, dm2 := crmSchemas()
+	dm2.MustAdd("DCust", "c1", "Ann", "908", "5550001")
+	dm2.MustAdd("DCust", "c2", "Eve", "973", "5550002")
+	if ok, err := phi.Satisfied(d, dm2); err != nil || !ok {
+		t.Fatalf("phi0 should hold against the second master copy: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestSatisfiedDeltaAgreesWithFullRandom extends the fixed-case
+// agreement test with randomized bases and deltas over the CRM schema,
+// exercising the overlay evaluation (no union materialization) on
+// overlapping and disjoint deltas alike.
+func TestSatisfiedDeltaAgreesWithFullRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	cids := []string{"c1", "c2", "c3", "c4"}
+	eids := []string{"e0", "e1"}
+	acs := []string{"908", "973"}
+	randDB := func(n int) *relation.Database {
+		db, _ := crmSchemas()
+		for i := 0; i < n; i++ {
+			ci := cids[rng.Intn(len(cids))]
+			switch rng.Intn(3) {
+			case 0:
+				db.MustAdd("Cust", ci, "n"+ci, []string{"01", "44"}[rng.Intn(2)], acs[rng.Intn(2)], "555")
+			case 1:
+				db.MustAdd("Supt", eids[rng.Intn(2)], "sales", ci)
+			case 2:
+				db.MustAdd("Cust", ci, "n"+ci, "01", acs[rng.Intn(2)], "555")
+			}
+		}
+		return db
+	}
+	_, dm := crmSchemas()
+	dm.MustAdd("DCust", "c1", "nc1", "908", "555")
+	dm.MustAdd("DCust", "c2", "nc2", "973", "555")
+	set := NewSet(phi0(), AtMostK("k1", "Supt", 3, []int{0}, 3, 1))
+
+	trials := 0
+	for trial := 0; trial < 500 && trials < 200; trial++ {
+		d := randDB(rng.Intn(5))
+		if ok, err := set.Satisfied(d, dm); err != nil || !ok {
+			continue // SatisfiedDelta's precondition requires (D, Dm) ⊨ V
+		}
+		trials++
+		delta := randDB(rng.Intn(3) + 1)
+		fast, err := set.SatisfiedDelta(d, delta, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := set.Satisfied(d.Union(delta), dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast != slow {
+			t.Fatalf("trial %d: SatisfiedDelta=%v but full recheck=%v\nD:\n%v\ndelta:\n%v",
+				trial, fast, slow, d, delta)
+		}
+	}
+	if trials < 100 {
+		t.Fatalf("too few partially closed trials: %d", trials)
+	}
+}

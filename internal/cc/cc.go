@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/cq"
 	"repro/internal/datalog"
@@ -99,6 +100,39 @@ type Constraint struct {
 	Reverse bool
 
 	ind *INDShape // non-nil when the constraint is an IND (set by NewIND or DetectIND)
+
+	// pcache memoizes the master-side projection p(Dm). Dm is immutable
+	// during a Checker run, so the same set is recomputed thousands of
+	// times otherwise; the cache keys on the projected instance's
+	// identity and generation, so out-of-band mutation invalidates it.
+	pcache atomic.Pointer[projCache]
+}
+
+// projCache is one memoized master-side projection; see masterSide.
+type projCache struct {
+	inst *relation.Instance
+	gen  uint64
+	rhs  map[string]bool
+}
+
+// masterSide returns p(Dm), memoized per (instance, generation). Stores
+// race benignly under concurrent checkers: every store for one key holds
+// the same set, and a lost overwrite merely recomputes later.
+func (c *Constraint) masterSide(dm *relation.Database) map[string]bool {
+	var in *relation.Instance
+	if !c.P.IsEmptySet() && dm != nil {
+		in = dm.Instance(c.P.Rel)
+	}
+	var gen uint64
+	if in != nil {
+		gen = in.Generation()
+	}
+	if p := c.pcache.Load(); p != nil && p.inst == in && p.gen == gen {
+		return p.rhs
+	}
+	rhs := c.P.Eval(dm)
+	c.pcache.Store(&projCache{inst: in, gen: gen, rhs: rhs})
+	return rhs
 }
 
 // New builds a containment constraint.
@@ -180,7 +214,7 @@ func (c *Constraint) Violation(d, dm *relation.Database) (relation.Tuple, bool, 
 	if len(lhs) == 0 {
 		return nil, false, nil
 	}
-	rhs := c.P.Eval(dm)
+	rhs := c.masterSide(dm)
 	for _, t := range lhs {
 		if !rhs[t.Key()] {
 			return t, true, nil
@@ -191,8 +225,9 @@ func (c *Constraint) Violation(d, dm *relation.Database) (relation.Tuple, bool, 
 
 // SatisfiedDelta reports whether (D ∪ Δ, Dm) ⊨ c, assuming (D, Dm) ⊨ c
 // already holds. For monotone constraint languages only the differential
-// matches involving Δ are evaluated; FO and FP fall back to full
-// re-evaluation over the union.
+// matches involving Δ are evaluated — over the D/Δ overlay, without ever
+// materializing the union; FO and FP fall back to full re-evaluation
+// over the union.
 func (c *Constraint) SatisfiedDelta(d, delta, dm *relation.Database) (bool, error) {
 	if c.Reverse {
 		// p(Dm) ⊆ q(D) is monotone in D for monotone q: extensions can
@@ -205,11 +240,10 @@ func (c *Constraint) SatisfiedDelta(d, delta, dm *relation.Database) (bool, erro
 	if !c.Q.Lang().Monotone() {
 		return c.satisfiedUnion(d, delta, dm)
 	}
-	full := d.Union(delta)
-	rhs := c.P.Eval(dm)
+	rhs := c.masterSide(dm)
 	for _, t := range c.Q.Tableaux() {
 		violated := false
-		t.EvalFuncDelta(full, delta, func(b query.Binding) bool {
+		t.EvalFuncDelta(d, delta, func(b query.Binding) bool {
 			h, ok := t.HeadTuple(b)
 			if !ok {
 				return true

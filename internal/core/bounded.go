@@ -95,13 +95,17 @@ func BoundedRCDP(q qlang.Query, d, dm *relation.Database, v *cc.Set, opts Bounde
 		return boundedRCDPParallel(q, d, dm, v, o, pool, baseSet, len(base), wp)
 	}
 	res := &BoundedRCDPResult{MaxAdd: o.MaxAdd}
+	deltaOK := v.AllMonotone()
 
-	// Enumerate subsets of the pool of size 1..MaxAdd.
-	var rec func(start int, cur *relation.Database, added int) (*BoundedRCDPResult, error)
-	rec = func(start int, cur *relation.Database, added int) (*BoundedRCDPResult, error) {
+	// Enumerate subsets of the pool of size 1..MaxAdd. delta carries just
+	// the added tuples, so the partial-closure recheck of each candidate
+	// can run differentially against the verified base (see
+	// boundedCounterexample).
+	var rec func(start int, cur, delta *relation.Database, added int) (*BoundedRCDPResult, error)
+	rec = func(start int, cur, delta *relation.Database, added int) (*BoundedRCDPResult, error) {
 		if added > 0 {
 			res.Explored++
-			r, err := boundedCounterexample(q, dm, v, baseSet, len(base), cur, o.MaxAdd)
+			r, err := boundedCounterexample(q, d, dm, v, baseSet, len(base), cur, delta, deltaOK, o.MaxAdd)
 			if err != nil {
 				return nil, err
 			}
@@ -121,14 +125,18 @@ func BoundedRCDP(q qlang.Query, d, dm *relation.Database, v *cc.Set, opts Bounde
 			if err := next.Add(pool[i].rel, pool[i].tup); err != nil {
 				continue // finite-domain violation: not a legal tuple
 			}
-			r, err := rec(i+1, next, added+1)
+			nd := delta.Clone()
+			if err := nd.Add(pool[i].rel, pool[i].tup); err != nil {
+				continue
+			}
+			r, err := rec(i+1, next, nd, added+1)
 			if err != nil || r != nil {
 				return r, err
 			}
 		}
 		return nil, nil
 	}
-	r, err := rec(0, d.Clone(), 0)
+	r, err := rec(0, d.Clone(), emptyDatabase(schemasOf(d)), 0)
 	if err != nil {
 		return nil, err
 	}
@@ -139,14 +147,26 @@ func BoundedRCDP(q qlang.Query, d, dm *relation.Database, v *cc.Set, opts Bounde
 }
 
 // boundedCounterexample checks one candidate extension: is cur partially
-// closed and does it change Q's answer? It returns a result without the
-// Explored count (the caller owns the accounting) and reads only shared
-// warmed/immutable inputs, so parallel branches may call it directly.
-func boundedCounterexample(q qlang.Query, dm *relation.Database, v *cc.Set,
-	baseSet map[string]bool, baseLen int, cur *relation.Database, maxAdd int) (*BoundedRCDPResult, error) {
-	if ok, err := v.Satisfied(cur, dm); err != nil {
+// closed and does it change Q's answer? cur = base ∪ delta; when deltaOK
+// (all constraints monotone) the partial-closure recheck runs
+// differentially via SatisfiedDelta against the entry-verified base
+// instead of re-evaluating every constraint body over cur from scratch.
+// It returns a result without the Explored count (the caller owns the
+// accounting) and reads only shared warmed/immutable inputs, so parallel
+// branches may call it directly.
+func boundedCounterexample(q qlang.Query, base, dm *relation.Database, v *cc.Set,
+	baseSet map[string]bool, baseLen int, cur, delta *relation.Database, deltaOK bool, maxAdd int) (*BoundedRCDPResult, error) {
+	var ok bool
+	var err error
+	if deltaOK && delta != nil {
+		ok, err = v.SatisfiedDelta(base, delta, dm)
+	} else {
+		ok, err = v.Satisfied(cur, dm)
+	}
+	if err != nil {
 		return nil, err
-	} else if !ok {
+	}
+	if !ok {
 		return nil, nil
 	}
 	ans, err := q.Eval(cur)
@@ -182,6 +202,7 @@ func boundedRCDPParallel(q qlang.Query, d, dm *relation.Database, v *cc.Set, o B
 	pool []poolTuple, baseSet map[string]bool, baseLen int, wp *workerPool) (*BoundedRCDPResult, error) {
 	warmShared(d, dm)
 	ctl := newRaceCtl()
+	deltaOK := v.AllMonotone()
 	var explored atomic.Int64
 	tasks := make([]func(), 0, len(pool))
 	for bi := range pool {
@@ -198,13 +219,17 @@ func boundedRCDPParallel(q qlang.Query, d, dm *relation.Database, v *cc.Set, o B
 			if err := first.Add(pool[bi].rel, pool[bi].tup); err != nil {
 				return // finite-domain violation: not a legal tuple
 			}
-			var rec func(start int, cur *relation.Database, added int) error
-			rec = func(start int, cur *relation.Database, added int) error {
+			firstDelta := emptyDatabase(schemasOf(d))
+			if err := firstDelta.Add(pool[bi].rel, pool[bi].tup); err != nil {
+				return
+			}
+			var rec func(start int, cur, delta *relation.Database, added int) error
+			rec = func(start int, cur, delta *relation.Database, added int) error {
 				if ctl.cancelled(key) {
 					return errAbandoned
 				}
 				explored.Add(1)
-				r, err := boundedCounterexample(q, dm, v, baseSet, baseLen, cur, o.MaxAdd)
+				r, err := boundedCounterexample(q, d, dm, v, baseSet, baseLen, cur, delta, deltaOK, o.MaxAdd)
 				if err != nil {
 					return err
 				}
@@ -223,13 +248,17 @@ func boundedRCDPParallel(q qlang.Query, d, dm *relation.Database, v *cc.Set, o B
 					if err := next.Add(pool[i].rel, pool[i].tup); err != nil {
 						continue
 					}
-					if err := rec(i+1, next, added+1); err != nil {
+					nd := delta.Clone()
+					if err := nd.Add(pool[i].rel, pool[i].tup); err != nil {
+						continue
+					}
+					if err := rec(i+1, next, nd, added+1); err != nil {
 						return err
 					}
 				}
 				return nil
 			}
-			switch err := rec(bi+1, first, 1); err {
+			switch err := rec(bi+1, first, firstDelta, 1); err {
 			case nil, errStop, errAbandoned:
 			default:
 				ctl.fail(err)

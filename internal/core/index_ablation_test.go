@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/cq"
+	"repro/internal/mdm"
+	"repro/internal/relation"
+)
+
+// The indexed join engine (cq.SetIndexJoin) must be a pure optimization:
+// verdicts, witnesses and — for the sequential engines — work counters
+// are bit-identical with the engine on and off. These tests pin that
+// contract across RCDP, RCQP and BoundedRCDP, at Workers=1 and
+// Workers=8, on randomized instances; the Makefile race target runs
+// them under -race, which also exercises the concurrent lazy index
+// builds on shared instances.
+
+// restoreIndexJoin re-enables the indexed engine after a test.
+func restoreIndexJoin(t *testing.T) {
+	prev := cq.SetIndexJoin(true)
+	t.Cleanup(func() { cq.SetIndexJoin(prev) })
+}
+
+func TestRCDPIndexedMatchesNoindex(t *testing.T) {
+	restoreIndexJoin(t)
+	queries := microQueries()
+	sets := microConstraintSets()
+	for _, workers := range []int{1, 8} {
+		rng := rand.New(rand.NewSource(31))
+		ck := &Checker{Workers: workers}
+		trials := 0
+		for trial := 0; trial < 400 && trials < 150; trial++ {
+			q := queries[rng.Intn(len(queries))]
+			cs := sets[rng.Intn(len(sets))]
+			d := randomMicroDB(rng)
+			if ok, err := cs.v.Satisfied(d, cs.dm); err != nil || !ok {
+				continue
+			}
+			trials++
+			cq.SetIndexJoin(true)
+			ir, ierr := ck.RCDP(q, d, cs.dm, cs.v)
+			cq.SetIndexJoin(false)
+			nr, nerr := ck.RCDP(q, d, cs.dm, cs.v)
+			if (ierr == nil) != (nerr == nil) {
+				t.Fatalf("workers=%d trial %d (%s/%s): indexed err=%v noindex err=%v",
+					workers, trial, cs.name, q, ierr, nerr)
+			}
+			if ierr != nil {
+				continue
+			}
+			if !sameRCDP(ir, nr) {
+				t.Fatalf("workers=%d trial %d (%s/%s): engines disagree\nD:\n%v\nindexed: %+v\nnoindex: %+v",
+					workers, trial, cs.name, q, d, ir, nr)
+			}
+			// The valuation search enumerates the same candidates in the
+			// same order whichever join engine evaluates them, so the
+			// sequential work counter must match exactly.
+			if workers == 1 && ir.Valuations != nr.Valuations {
+				t.Fatalf("workers=1 trial %d (%s/%s): valuation counts diverge: indexed %d noindex %d",
+					trial, cs.name, q, ir.Valuations, nr.Valuations)
+			}
+		}
+		if trials < 100 {
+			t.Fatalf("workers=%d: too few partially closed trials: %d", workers, trials)
+		}
+	}
+}
+
+func TestRCQPIndexedMatchesNoindex(t *testing.T) {
+	restoreIndexJoin(t)
+	r, f := microSchema()
+	schemas := map[string]*relation.Schema{"R": r, "F": f}
+	for _, workers := range []int{1, 8} {
+		ck := &QPChecker{Checker: Checker{Workers: workers}}
+		for _, cs := range microConstraintSets() {
+			for _, q := range microQueries() {
+				cq.SetIndexJoin(true)
+				ir, ierr := ck.RCQP(q, cs.dm, cs.v, schemas)
+				cq.SetIndexJoin(false)
+				nr, nerr := ck.RCQP(q, cs.dm, cs.v, schemas)
+				if (ierr == nil) != (nerr == nil) {
+					t.Fatalf("workers=%d %s/%s: indexed err=%v noindex err=%v", workers, cs.name, q, ierr, nerr)
+				}
+				if ierr != nil {
+					continue
+				}
+				if ir.Status != nr.Status || ir.Method != nr.Method || ir.Detail != nr.Detail ||
+					ir.Candidates != nr.Candidates {
+					t.Fatalf("workers=%d %s/%s: engines disagree\nindexed: %+v\nnoindex: %+v",
+						workers, cs.name, q, ir, nr)
+				}
+				if (ir.Witness == nil) != (nr.Witness == nil) ||
+					(ir.Witness != nil && !ir.Witness.Equal(nr.Witness)) {
+					t.Fatalf("workers=%d %s/%s: witnesses diverge\nindexed: %v\nnoindex: %v",
+						workers, cs.name, q, ir.Witness, nr.Witness)
+				}
+			}
+		}
+	}
+}
+
+func TestBoundedRCDPIndexedMatchesNoindex(t *testing.T) {
+	restoreIndexJoin(t)
+	queries := microQueries()
+	sets := microConstraintSets()
+	for _, workers := range []int{1, 8} {
+		rng := rand.New(rand.NewSource(59))
+		opts := BoundedOpts{MaxAdd: 2, FreshValues: 2, Workers: workers}
+		trials := 0
+		for trial := 0; trial < 200 && trials < 60; trial++ {
+			q := queries[rng.Intn(len(queries))]
+			cs := sets[rng.Intn(len(sets))]
+			d := randomMicroDB(rng)
+			if ok, err := cs.v.Satisfied(d, cs.dm); err != nil || !ok {
+				continue
+			}
+			trials++
+			cq.SetIndexJoin(true)
+			ir, ierr := BoundedRCDP(q, d, cs.dm, cs.v, opts)
+			cq.SetIndexJoin(false)
+			nr, nerr := BoundedRCDP(q, d, cs.dm, cs.v, opts)
+			if (ierr == nil) != (nerr == nil) {
+				t.Fatalf("workers=%d trial %d (%s/%s): indexed err=%v noindex err=%v",
+					workers, trial, cs.name, q, ierr, nerr)
+			}
+			if ierr != nil {
+				continue
+			}
+			if ir.Incomplete != nr.Incomplete {
+				t.Fatalf("workers=%d trial %d (%s/%s): verdicts diverge: indexed %v noindex %v",
+					workers, trial, cs.name, q, ir.Incomplete, nr.Incomplete)
+			}
+			if (ir.Extension == nil) != (nr.Extension == nil) ||
+				(ir.Extension != nil && !ir.Extension.Equal(nr.Extension)) {
+				t.Fatalf("workers=%d trial %d (%s/%s): extensions diverge\nindexed: %v\nnoindex: %v",
+					workers, trial, cs.name, q, ir.Extension, nr.Extension)
+			}
+			if (ir.NewTuple == nil) != (nr.NewTuple == nil) ||
+				(ir.NewTuple != nil && ir.NewTuple.Key() != nr.NewTuple.Key()) {
+				t.Fatalf("workers=%d trial %d (%s/%s): new tuples diverge\nindexed: %v\nnoindex: %v",
+					workers, trial, cs.name, q, ir.NewTuple, nr.NewTuple)
+			}
+			if workers == 1 && ir.Explored != nr.Explored {
+				t.Fatalf("workers=1 trial %d (%s/%s): explored counts diverge: indexed %d noindex %d",
+					trial, cs.name, q, ir.Explored, nr.Explored)
+			}
+		}
+		if trials < 30 {
+			t.Fatalf("workers=%d: too few partially closed trials: %d", workers, trials)
+		}
+	}
+}
+
+// TestCRMIndexedMatchesNoindex runs the realistic CRM scenario (the
+// benchmark workload) through RCDP with the engine on and off: a
+// medium-sized deterministic instance where the indexed plan actually
+// differs from the greedy one.
+func TestCRMIndexedMatchesNoindex(t *testing.T) {
+	restoreIndexJoin(t)
+	for _, completeness := range []float64{1.0, 0.8} {
+		cfg := mdm.DefaultConfig()
+		cfg.DomesticCustomers = 60
+		cfg.Employees = 6
+		cfg.Completeness = completeness
+		s := mdm.Generate(cfg)
+		v := mdmSet(cfg)
+		q := mdm.Q0("908")
+		for _, workers := range []int{1, 8} {
+			ck := &Checker{Workers: workers}
+			cq.SetIndexJoin(true)
+			ir, ierr := ck.RCDP(q, s.D, s.Dm, v)
+			cq.SetIndexJoin(false)
+			nr, nerr := ck.RCDP(q, s.D, s.Dm, v)
+			if ierr != nil || nerr != nil {
+				t.Fatalf("completeness=%.1f workers=%d: indexed err=%v noindex err=%v",
+					completeness, workers, ierr, nerr)
+			}
+			if !sameRCDP(ir, nr) {
+				t.Fatalf("completeness=%.1f workers=%d: engines disagree\nindexed: %+v\nnoindex: %+v",
+					completeness, workers, ir, nr)
+			}
+		}
+	}
+}
+
+// mdmSet is the Example 2.1 constraint set for a generated scenario.
+func mdmSet(cfg mdm.Config) *cc.Set {
+	return cc.NewSet(mdm.Phi0(), mdm.Phi1(cfg.MaxSupport))
+}

@@ -45,7 +45,7 @@ func Contained(q1, q2 *CQ, schemas map[string]*relation.Schema) (bool, error) {
 	if q1.Arity() != q2.Arity() {
 		return false, fmt.Errorf("cq: containment between arities %d and %d", q1.Arity(), q2.Arity())
 	}
-	t1, err := BuildTableau(q1)
+	t1, err := q1.Compiled()
 	if err != nil {
 		return true, nil // unsatisfiable q1 is contained in everything
 	}

@@ -10,6 +10,7 @@ package cq
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/query"
 	"repro/internal/relation"
@@ -25,6 +26,25 @@ type CQ struct {
 	Head  []query.Term
 	Atoms []query.RelAtom
 	Conds []query.EqAtom
+
+	// compiled-query cache; see Compiled. CQ values must not be copied
+	// after first evaluation — all construction paths (New, Clone,
+	// Rename) build fresh structs, so the cache never leaks into a
+	// mutated copy.
+	compileOnce sync.Once
+	compiled    *Tableau
+	compileErr  error
+}
+
+// Compiled returns the memoized tableau (T_Q, u_Q) of the query,
+// building it on first use. Build failures — unsatisfiable queries,
+// whose answers are empty everywhere — are cached too, so repeated
+// evaluation of an unsatisfiable query never re-runs the union-find.
+// The query must not be structurally mutated after its first
+// evaluation; Clone/Rename return fresh, uncompiled copies for that.
+func (q *CQ) Compiled() (*Tableau, error) {
+	q.compileOnce.Do(func() { q.compiled, q.compileErr = BuildTableau(q) })
+	return q.compiled, q.compileErr
 }
 
 // New builds a CQ.

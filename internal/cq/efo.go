@@ -3,6 +3,7 @@ package cq
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/query"
 	"repro/internal/relation"
@@ -81,6 +82,11 @@ type EFOQuery struct {
 	Name string
 	Head []query.Term
 	Body EFO
+
+	// memoized DNF expansion; see ToUCQ. EFOQuery values must not be
+	// copied or mutated after first evaluation.
+	ucqOnce sync.Once
+	ucq     *UCQ
 }
 
 // NewEFO builds an ∃FO⁺ query.
@@ -117,8 +123,14 @@ func (c conjunct) clone() conjunct {
 // bound proofs avoid by guessing one branch; the deciders in
 // internal/core therefore work per-disjunct and never materialize more
 // branches than they visit. Bound variables are α-renamed apart so that
-// reused quantifier names cannot capture.
+// reused quantifier names cannot capture. The expansion is memoized: it
+// runs once per query identity, however often the query is evaluated.
 func (q *EFOQuery) ToUCQ() *UCQ {
+	q.ucqOnce.Do(func() { q.ucq = q.expandUCQ() })
+	return q.ucq
+}
+
+func (q *EFOQuery) expandUCQ() *UCQ {
 	fresh := 0
 	free := make(map[string]bool)
 	for _, h := range q.Head {

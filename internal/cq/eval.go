@@ -2,16 +2,32 @@ package cq
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/query"
 	"repro/internal/relation"
 )
 
+// indexJoin gates the indexed join engine. When disabled (the -noindex
+// ablation), evaluation falls back to the original greedy planner and
+// pure nested-loop scans, giving a clean before/after comparison.
+var indexJoin atomic.Bool
+
+func init() { indexJoin.Store(true) }
+
+// SetIndexJoin toggles the indexed join engine and returns the previous
+// setting, so callers can restore it: defer cq.SetIndexJoin(cq.SetIndexJoin(x)).
+func SetIndexJoin(on bool) bool { return indexJoin.Swap(on) }
+
+// IndexJoinEnabled reports whether the indexed join engine is active.
+func IndexJoinEnabled() bool { return indexJoin.Load() }
+
 // Eval evaluates the CQ over the database and returns the set of answer
 // tuples in deterministic order. Boolean queries return either the empty
-// result or a single empty tuple.
+// result or a single empty tuple. The tableau is compiled once per query
+// identity and cached (see Compiled).
 func (q *CQ) Eval(d *relation.Database) []relation.Tuple {
-	t, err := BuildTableau(q)
+	t, err := q.Compiled()
 	if err != nil {
 		return nil // unsatisfiable queries have empty answers everywhere
 	}
@@ -23,9 +39,9 @@ func (q *CQ) EvalBool(d *relation.Database) bool {
 	return len(q.Eval(d)) > 0
 }
 
-// Eval evaluates the tableau over the database. Atoms are joined with a
-// greedy most-bound-first ordering; inequality conditions are checked as
-// soon as both sides are bound.
+// Eval evaluates the tableau over the database. Atoms are joined in a
+// cost-based order with index lookups on bound columns; inequality
+// conditions are checked as soon as both sides are bound.
 func (t *Tableau) Eval(d *relation.Database) []relation.Tuple {
 	results := make(map[string]relation.Tuple)
 	t.EvalFunc(d, func(b query.Binding) bool {
@@ -56,14 +72,79 @@ func (t *Tableau) EvalFunc(d *relation.Database, fn func(query.Binding) bool) {
 		}
 		return
 	}
-	order := t.planOrder()
+	order := t.planOrder(d)
 	b := make(query.Binding, len(t.Vars))
 	t.join(d, order, 0, b, fn)
 }
 
-// planOrder greedily orders templates so that each step binds as few new
-// variables as possible (maximizing filter selectivity).
-func (t *Tableau) planOrder() []int {
+// planOrder orders the templates for the join. With the indexed engine
+// it is cost-based: each step picks the unused template with the lowest
+// estimated candidate count given the variables bound so far, where an
+// equality probe on a bound column of instance in is expected to match
+// about in.Len()/in.Distinct(col) tuples and an unbound template costs a
+// full scan. Ties break toward fewer newly-bound variables, then lowest
+// template position, keeping the order deterministic. With the engine
+// disabled it falls back to the original greedy most-bound-first order.
+func (t *Tableau) planOrder(d *relation.Database) []int {
+	if !IndexJoinEnabled() || d == nil {
+		return t.planOrderGreedy()
+	}
+	n := len(t.Templates)
+	used := make([]bool, n)
+	bound := make(map[string]bool)
+	order := make([]int, 0, n)
+	for len(order) < n {
+		best, bestCost, bestNew := -1, 0, 0
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			cost, newVars := templateCost(d, t.Templates[i], bound)
+			if best == -1 || cost < bestCost || (cost == bestCost && newVars < bestNew) {
+				best, bestCost, bestNew = i, cost, newVars
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, a := range t.Templates[best].Args {
+			if a.IsVar {
+				bound[a.Name] = true
+			}
+		}
+	}
+	return order
+}
+
+// templateCost estimates how many candidate tuples matching the atom
+// will be enumerated under the current bound-variable set, and counts
+// the variables the atom would newly bind.
+func templateCost(d *relation.Database, atom query.RelAtom, bound map[string]bool) (cost, newVars int) {
+	for _, arg := range atom.Args {
+		if arg.IsVar && !bound[arg.Name] {
+			newVars++
+		}
+	}
+	in := d.Instance(atom.Rel)
+	if in == nil || in.Len() == 0 {
+		return 0, newVars
+	}
+	cost = in.Len()
+	for col, arg := range atom.Args {
+		if arg.IsVar && !bound[arg.Name] {
+			continue
+		}
+		if dc := in.Distinct(col); dc > 0 {
+			if est := (in.Len() + dc - 1) / dc; est < cost {
+				cost = est
+			}
+		}
+	}
+	return cost, newVars
+}
+
+// planOrderGreedy is the legacy planner: order templates so that each
+// step binds as few new variables as possible.
+func (t *Tableau) planOrderGreedy() []int {
 	n := len(t.Templates)
 	used := make([]bool, n)
 	bound := make(map[string]bool)
@@ -95,6 +176,46 @@ func (t *Tableau) planOrder() []int {
 	return order
 }
 
+// joinTuples returns the candidate tuples for matching atom under the
+// current binding: the most selective index bucket when some argument is
+// already bound (or constant) and indexing is enabled, otherwise the
+// full deterministic scan. Index buckets are sorted subsequences of the
+// full scan, so candidate enumeration order — and hence every
+// enumeration-order-sensitive observation downstream — is unchanged.
+func joinTuples(in *relation.Instance, atom query.RelAtom, b query.Binding) []relation.Tuple {
+	if IndexJoinEnabled() {
+		if col, val, ok := bestBoundArg(in, atom, b); ok {
+			return in.Lookup(col, val)
+		}
+	}
+	return in.Tuples()
+}
+
+// bestBoundArg picks, among the atom's bound arguments (constants and
+// already-bound variables), the column with the most distinct values —
+// the most selective equality probe. The first such column wins ties,
+// keeping the choice deterministic.
+func bestBoundArg(in *relation.Instance, atom query.RelAtom, b query.Binding) (int, relation.Value, bool) {
+	best, bestDc := -1, -1
+	var bestVal relation.Value
+	for i, arg := range atom.Args {
+		var v relation.Value
+		if arg.IsVar {
+			bv, ok := b[arg.Name]
+			if !ok {
+				continue
+			}
+			v = bv
+		} else {
+			v = arg.Val
+		}
+		if dc := in.Distinct(i); dc > bestDc {
+			best, bestDc, bestVal = i, dc, v
+		}
+	}
+	return best, bestVal, best >= 0
+}
+
 // join recursively matches template order[k] against the database.
 func (t *Tableau) join(d *relation.Database, order []int, k int, b query.Binding, fn func(query.Binding) bool) bool {
 	if k == len(order) {
@@ -108,7 +229,7 @@ func (t *Tableau) join(d *relation.Database, order []int, k int, b query.Binding
 	if in == nil {
 		return true
 	}
-	for _, tup := range in.Tuples() {
+	for _, tup := range joinTuples(in, atom, b) {
 		newly := b.Match(atom, tup)
 		if newly == nil {
 			continue
@@ -134,29 +255,32 @@ func (t *Tableau) join(d *relation.Database, order []int, k int, b query.Binding
 	return true
 }
 
-// EvalFuncDelta enumerates bindings of the tableau over full = d ∪ delta
-// restricted to matches that use at least one delta tuple. It implements
-// one step of semi-naive (differential) evaluation: for each template
-// position j it enumerates joins where template j matches only delta and
-// the remaining templates match the full database, which covers every
-// new match exactly (possibly invoking fn more than once per binding).
+// EvalFuncDelta enumerates bindings of the tableau over d ∪ delta
+// restricted to matches that use at least one delta tuple, without ever
+// materializing the union. It implements one step of semi-naive
+// (differential) evaluation: for each template position j it enumerates
+// joins where template j matches only delta and the remaining templates
+// match d and then delta, which covers every new match at least once
+// (possibly invoking fn more than once per binding, e.g. when several
+// templates match delta tuples or a delta tuple already occurs in d).
 // fn returning false stops enumeration.
-func (t *Tableau) EvalFuncDelta(full, delta *relation.Database, fn func(query.Binding) bool) {
+func (t *Tableau) EvalFuncDelta(d, delta *relation.Database, fn func(query.Binding) bool) {
 	if len(t.Templates) == 0 {
 		return // no templates: answers cannot change
 	}
 	for j := range t.Templates {
 		b := make(query.Binding, len(t.Vars))
-		if !t.joinDelta(full, delta, j, b, fn) {
+		if !t.joinDelta(d, delta, j, b, fn) {
 			return
 		}
 	}
 }
 
-// joinDelta is join with template deltaAt reading from delta instead of
-// the full database. Template order is positional here (no planning):
-// delta instances are typically tiny, so the deltaAt template leads.
-func (t *Tableau) joinDelta(full, delta *relation.Database, deltaAt int, b query.Binding, fn func(query.Binding) bool) bool {
+// joinDelta is join with template deltaAt reading only from delta and
+// every other template reading the d/delta overlay. Template order is
+// positional (no planning): delta instances are typically tiny, so the
+// deltaAt template leads and binds its variables first.
+func (t *Tableau) joinDelta(d, delta *relation.Database, deltaAt int, b query.Binding, fn func(query.Binding) bool) bool {
 	// Visit deltaAt first, then the others positionally.
 	idx := make([]int, 0, len(t.Templates))
 	idx = append(idx, deltaAt)
@@ -174,35 +298,38 @@ func (t *Tableau) joinDelta(full, delta *relation.Database, deltaAt int, b query
 			return fn(b)
 		}
 		atom := t.Templates[idx[pos]]
-		src := full
+		srcs := [2]*relation.Database{d, delta}
+		parts := srcs[:2]
 		if idx[pos] == deltaAt {
-			src = delta
+			parts = srcs[1:2]
 		}
-		in := src.Instance(atom.Rel)
-		if in == nil {
-			return true
-		}
-		for _, tup := range in.Tuples() {
-			newly := b.Match(atom, tup)
-			if newly == nil {
+		for _, src := range parts {
+			in := src.Instance(atom.Rel)
+			if in == nil {
 				continue
 			}
-			ok := true
-			for _, dq := range t.Diseqs {
-				if holds, known := dq.Holds(b); known && !holds {
-					ok = false
-					break
+			for _, tup := range joinTuples(in, atom, b) {
+				newly := b.Match(atom, tup)
+				if newly == nil {
+					continue
 				}
-			}
-			cont := true
-			if ok {
-				cont = rec(pos + 1)
-			}
-			for _, v := range newly {
-				delete(b, v)
-			}
-			if !cont {
-				return false
+				ok := true
+				for _, dq := range t.Diseqs {
+					if holds, known := dq.Holds(b); known && !holds {
+						ok = false
+						break
+					}
+				}
+				cont := true
+				if ok {
+					cont = rec(pos + 1)
+				}
+				for _, v := range newly {
+					delete(b, v)
+				}
+				if !cont {
+					return false
+				}
 			}
 		}
 		return true

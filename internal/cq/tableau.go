@@ -3,10 +3,20 @@ package cq
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/query"
 	"repro/internal/relation"
 )
+
+// tableauBuilds counts BuildTableau invocations; a test hook for
+// asserting that the compiled-query cache builds each tableau once.
+var tableauBuilds atomic.Int64
+
+// TableauBuilds returns the number of BuildTableau invocations so far in
+// the process. Tests take the difference around an operation to assert
+// how many tableaux it compiled.
+func TableauBuilds() int64 { return tableauBuilds.Load() }
 
 // Tableau is the tableau representation (T_Q, u_Q) of a CQ, as used in
 // Section 3.2.1: equality atoms are folded in by assigning a single
@@ -106,6 +116,7 @@ func (u *unionFind) resolve(t query.Term) query.Term {
 // inequality is trivially violated (x ≠ x, or c ≠ c on the same
 // constant).
 func BuildTableau(q *CQ) (*Tableau, error) {
+	tableauBuilds.Add(1)
 	uf := newUnionFind()
 	for _, c := range q.Conds {
 		if c.Neg {
@@ -242,7 +253,7 @@ func (t *Tableau) DiseqsHold(b query.Binding) bool {
 // finite-domain variables is a small constraint-satisfaction search
 // (infinite-domain variables can always take fresh distinct values).
 func Satisfiable(q *CQ, schemas map[string]*relation.Schema) bool {
-	t, err := BuildTableau(q)
+	t, err := q.Compiled()
 	if err != nil {
 		return false
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/relation"
 )
@@ -13,6 +14,11 @@ import (
 type UCQ struct {
 	Name      string
 	Disjuncts []*CQ
+
+	// memoized Tableaux; UCQ values must not be copied after first
+	// evaluation (Union/FromCQ/Clone all build fresh structs).
+	tabOnce sync.Once
+	tabs    []*Tableau
 }
 
 // Union builds a UCQ from disjuncts.
@@ -97,16 +103,19 @@ func (u *UCQ) String() string {
 	return strings.Join(parts, "\n")
 }
 
-// Tableaux builds the tableau of every satisfiable disjunct, silently
+// Tableaux returns the tableau of every satisfiable disjunct, silently
 // dropping unsatisfiable ones (they contribute nothing to any answer).
+// Disjunct tableaux come from the per-CQ compiled cache and the list
+// itself is memoized, so repeated calls build nothing.
 func (u *UCQ) Tableaux() []*Tableau {
-	var out []*Tableau
-	for _, q := range u.Disjuncts {
-		t, err := BuildTableau(q)
-		if err != nil {
-			continue
+	u.tabOnce.Do(func() {
+		for _, q := range u.Disjuncts {
+			t, err := q.Compiled()
+			if err != nil {
+				continue
+			}
+			u.tabs = append(u.tabs, t)
 		}
-		out = append(out, t)
-	}
-	return out
+	})
+	return u.tabs
 }

@@ -6,6 +6,7 @@ package qlang
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cq"
 	"repro/internal/datalog"
@@ -66,14 +67,15 @@ type Query interface {
 	String() string
 }
 
-type cqQuery struct{ q *cq.CQ }
+type cqQuery struct {
+	q       *cq.CQ
+	tabOnce sync.Once
+	tabs    []*cq.Tableau
+}
 
 type ucqQuery struct{ q *cq.UCQ }
 
-type efoQuery struct {
-	q   *cq.EFOQuery
-	ucq *cq.UCQ
-}
+type efoQuery struct{ q *cq.EFOQuery }
 
 type foQuery struct{ q *fo.Query }
 
@@ -97,9 +99,16 @@ func FromFP(p *datalog.Program) Query { return &fpQuery{p: p} }
 func (w *cqQuery) Eval(d *relation.Database) ([]relation.Tuple, error) { return w.q.Eval(d), nil }
 func (w *cqQuery) Arity() int                                          { return w.q.Arity() }
 func (w *cqQuery) Lang() Lang                                          { return CQ }
-func (w *cqQuery) Tableaux() []*cq.Tableau                             { return cq.FromCQ(w.q).Tableaux() }
-func (w *cqQuery) Constants() []relation.Value                         { return w.q.Constants() }
-func (w *cqQuery) String() string                                      { return w.q.String() }
+func (w *cqQuery) Tableaux() []*cq.Tableau {
+	w.tabOnce.Do(func() {
+		if t, err := w.q.Compiled(); err == nil {
+			w.tabs = []*cq.Tableau{t}
+		}
+	})
+	return w.tabs
+}
+func (w *cqQuery) Constants() []relation.Value { return w.q.Constants() }
+func (w *cqQuery) String() string              { return w.q.String() }
 
 func (w *ucqQuery) Eval(d *relation.Database) ([]relation.Tuple, error) { return w.q.Eval(d), nil }
 func (w *ucqQuery) Arity() int                                          { return w.q.Arity() }
@@ -108,20 +117,15 @@ func (w *ucqQuery) Tableaux() []*cq.Tableau                             { return
 func (w *ucqQuery) Constants() []relation.Value                         { return w.q.Constants() }
 func (w *ucqQuery) String() string                                      { return w.q.String() }
 
-func (w *efoQuery) expand() *cq.UCQ {
-	if w.ucq == nil {
-		w.ucq = w.q.ToUCQ()
-	}
-	return w.ucq
-}
-
 func (w *efoQuery) Eval(d *relation.Database) ([]relation.Tuple, error) {
-	return w.expand().Eval(d), nil
+	// ToUCQ memoizes the DNF expansion on the EFOQuery itself (behind a
+	// sync.Once), so the wrapper needs no cache of its own.
+	return w.q.ToUCQ().Eval(d), nil
 }
 func (w *efoQuery) Arity() int                  { return w.q.Arity() }
 func (w *efoQuery) Lang() Lang                  { return EFO }
-func (w *efoQuery) Tableaux() []*cq.Tableau     { return w.expand().Tableaux() }
-func (w *efoQuery) Constants() []relation.Value { return w.expand().Constants() }
+func (w *efoQuery) Tableaux() []*cq.Tableau     { return w.q.ToUCQ().Tableaux() }
+func (w *efoQuery) Constants() []relation.Value { return w.q.ToUCQ().Constants() }
 func (w *efoQuery) String() string              { return w.q.String() }
 
 func (w *foQuery) Eval(d *relation.Database) ([]relation.Tuple, error) { return w.q.Eval(d), nil }

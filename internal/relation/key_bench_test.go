@@ -1,0 +1,60 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// legacyKey is the pre-optimization Key() implementation (fmt.Fprintf
+// into a strings.Builder), kept as the benchmark baseline; Key() was the
+// hottest allocation site in the valuation search before the strconv
+// rewrite.
+func legacyKey(t Tuple) string {
+	var b strings.Builder
+	for _, v := range t {
+		fmt.Fprintf(&b, "%d:", len(v))
+		b.WriteString(string(v))
+	}
+	return b.String()
+}
+
+var benchTuples = []Tuple{
+	T("c042", "name42", "01", "908", "5550042"),
+	T("e07", "sales", "c042"),
+	T("x", "y"),
+}
+
+func BenchmarkTupleKey(b *testing.B) {
+	b.Run("strconv", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, t := range benchTuples {
+				_ = t.Key()
+			}
+		}
+	})
+	b.Run("fprintf-legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, t := range benchTuples {
+				_ = legacyKey(t)
+			}
+		}
+	})
+}
+
+// TestKeyMatchesLegacy pins that the rewrite is encoding-compatible with
+// the legacy implementation, so persisted keys (map layouts, goldens)
+// are unchanged.
+func TestKeyMatchesLegacy(t *testing.T) {
+	cases := []Tuple{
+		T(), T(""), T("", ""), T("a"), T("ab", "c"), T("1:a", "b"),
+		T("c042", "name42", "01", "908", "5550042"),
+	}
+	for _, tup := range cases {
+		if tup.Key() != legacyKey(tup) {
+			t.Fatalf("key mismatch for %v: %q vs legacy %q", tup, tup.Key(), legacyKey(tup))
+		}
+	}
+}

@@ -13,7 +13,9 @@ package relation
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // Value is a single database value. Values compare by string identity;
@@ -174,12 +176,17 @@ type Tuple []Value
 // stay collision-free for arbitrary values each component is
 // length-prefixed.
 func (t Tuple) Key() string {
-	var b strings.Builder
+	n := 0
 	for _, v := range t {
-		fmt.Fprintf(&b, "%d:", len(v))
-		b.WriteString(string(v))
+		n += len(v) + 4 // value plus decimal length prefix and ':'
 	}
-	return b.String()
+	b := make([]byte, 0, n)
+	for _, v := range t {
+		b = strconv.AppendInt(b, int64(len(v)), 10)
+		b = append(b, ':')
+		b = append(b, string(v)...)
+	}
+	return string(b)
 }
 
 // Equal reports component-wise equality.
@@ -242,6 +249,32 @@ type Instance struct {
 
 	// sorted caches the deterministic tuple order; nil when dirty.
 	sorted []Tuple
+
+	// gen counts successful mutations (Add/Remove). Secondary indexes
+	// and external caches key on it for invalidation.
+	gen uint64
+
+	// indexes publishes the lazily-built secondary hash indexes for the
+	// generation recorded in indexSet.gen. Index sets are built on
+	// demand, atomically swapped in, and never mutated after a column
+	// slot is published, so concurrent readers of a quiescent instance
+	// need no locks. Mutating an instance while others read it remains
+	// forbidden, exactly as for the sorted cache.
+	indexes atomic.Pointer[indexSet]
+}
+
+// indexSet holds one generation's per-column indexes. cols has one slot
+// per attribute; slots fill in lazily as columns are first probed.
+type indexSet struct {
+	gen  uint64
+	cols []atomic.Pointer[colIndex]
+}
+
+// colIndex maps a column value to the tuples carrying it. Buckets are
+// sorted by Tuple.Less, so enumerating a bucket visits tuples in the
+// same relative order as the full Instance.Tuples scan.
+type colIndex struct {
+	buckets map[Value][]Tuple
 }
 
 // NewInstance returns an empty instance of the schema.
@@ -265,6 +298,7 @@ func (in *Instance) Add(t Tuple) error {
 	if _, dup := in.tuples[k]; !dup {
 		in.tuples[k] = t.Clone()
 		in.sorted = nil
+		in.gen++
 	}
 	return nil
 }
@@ -282,8 +316,14 @@ func (in *Instance) Remove(t Tuple) {
 	if _, ok := in.tuples[k]; ok {
 		delete(in.tuples, k)
 		in.sorted = nil
+		in.gen++
 	}
 }
+
+// Generation returns the mutation counter. Two reads returning the same
+// value bracket a span with no successful Add/Remove, so any cache built
+// in between is still valid.
+func (in *Instance) Generation() uint64 { return in.gen }
 
 // Contains reports tuple membership.
 func (in *Instance) Contains(t Tuple) bool {
@@ -308,10 +348,79 @@ func (in *Instance) Tuples() []Tuple {
 	return in.sorted
 }
 
-// Warm populates the lazily-built tuple-order cache. All other reads of
-// an Instance are free of hidden writes, so a warmed instance can be
-// shared read-only across goroutines.
+// Warm populates the lazily-built tuple-order cache. Index builds and
+// publications are atomic, so a warmed instance can be shared read-only
+// across goroutines.
 func (in *Instance) Warm() { in.Tuples() }
+
+// Lookup returns the tuples whose column col holds v, in the same
+// relative order as Tuples(). The secondary index for col is built on
+// first use and invalidated by Add/Remove via the generation counter.
+// The returned slice is shared: callers must not modify it.
+func (in *Instance) Lookup(col int, v Value) []Tuple {
+	ci := in.index(col)
+	if ci == nil {
+		return nil
+	}
+	return ci.buckets[v]
+}
+
+// Distinct returns the number of distinct values in column col, building
+// the column index if needed. It is the selectivity statistic used by
+// the cost-based join planner: an equality probe on col is expected to
+// match about Len/Distinct tuples.
+func (in *Instance) Distinct(col int) int {
+	ci := in.index(col)
+	if ci == nil {
+		return 0
+	}
+	return len(ci.buckets)
+}
+
+// index returns the column index for col, building and publishing it on
+// first use. Publication uses compare-and-swap on shared atomic slots:
+// concurrent first probes may build the same index twice, but every
+// build of one generation is identical, so losing the race is benign.
+func (in *Instance) index(col int) *colIndex {
+	arity := in.Schema.Arity()
+	if col < 0 || col >= arity {
+		return nil
+	}
+	set := in.indexes.Load()
+	if set == nil || set.gen != in.gen {
+		fresh := &indexSet{gen: in.gen, cols: make([]atomic.Pointer[colIndex], arity)}
+		if in.indexes.CompareAndSwap(set, fresh) {
+			set = fresh
+		} else if set = in.indexes.Load(); set == nil || set.gen != in.gen {
+			// Lost the swap to a concurrent mutation's stale set; use
+			// the private fresh set for this call only.
+			set = fresh
+		}
+	}
+	if ci := set.cols[col].Load(); ci != nil {
+		return ci
+	}
+	ci := in.buildColIndex(col)
+	set.cols[col].CompareAndSwap(nil, ci)
+	if pub := set.cols[col].Load(); pub != nil {
+		return pub
+	}
+	return ci
+}
+
+// buildColIndex materializes the value → tuples map for one column. It
+// iterates the tuple map directly (not Tuples()) so concurrent index
+// builds never race the sorted-cache write.
+func (in *Instance) buildColIndex(col int) *colIndex {
+	buckets := make(map[Value][]Tuple)
+	for _, t := range in.tuples {
+		buckets[t[col]] = append(buckets[t[col]], t)
+	}
+	for _, b := range buckets {
+		sort.Slice(b, func(i, j int) bool { return b[i].Less(b[j]) })
+	}
+	return &colIndex{buckets: buckets}
+}
 
 // Clone returns a deep copy sharing the schema.
 func (in *Instance) Clone() *Instance {
