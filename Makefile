@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-smoke bench-workers fmt-check
+.PHONY: ci build vet test race bench bench-smoke bench-workers fmt-check vuln fuzz-smoke cover-check
 
-ci: vet build test race bench-smoke
+ci: vet build test race bench-smoke cover-check fuzz-smoke vuln
 
 build:
 	$(GO) build ./...
@@ -34,3 +34,39 @@ bench-workers:
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Known-vulnerability scan. Skipped with a notice when govulncheck is
+# not on PATH (the CI image has no network to install it); when present
+# it must pass.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vuln: govulncheck not installed; skipping"; \
+	fi
+
+# Native fuzz smoke: each textq fuzz target runs for a short budget
+# (go test accepts one -fuzz pattern per invocation), catching
+# parser/formatter regressions without a long fuzz session.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/textq/ -run='^$$' -fuzz=FuzzParseSchemas -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/textq/ -run='^$$' -fuzz=FuzzParseDatabase -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/textq/ -run='^$$' -fuzz=FuzzParseQuery -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/textq/ -run='^$$' -fuzz=FuzzParseConstraints -fuzztime=$(FUZZTIME)
+
+# Coverage floors for the decision-procedure packages (set ~2 points
+# under the measured coverage at the time the floor was introduced so
+# legitimate refactors have headroom but a dropped test suite fails).
+cover-check:
+	@set -e; \
+	check() { \
+		pct=$$($(GO) test -cover $$1 | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage reported for $$1"; exit 1; fi; \
+		ok=$$(awk -v p="$$pct" -v f="$$2" 'BEGIN { print (p >= f) ? 1 : 0 }'); \
+		if [ "$$ok" != 1 ]; then echo "cover: $$1 at $$pct% is below floor $$2%"; exit 1; fi; \
+		echo "cover: $$1 $$pct% (floor $$2%)"; \
+	}; \
+	check ./internal/core/ 87; \
+	check ./internal/cq/ 84.5; \
+	check ./internal/cc/ 84.5

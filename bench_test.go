@@ -16,6 +16,7 @@ package repro
 // via ∃∀∃-3SAT.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -54,6 +55,7 @@ func BenchmarkRCDP_CQ_INDs_ForallExists(b *testing.B) {
 	for _, n := range []int{4, 6, 8} {
 		inst := forallExistsInstance(b, n)
 		b.Run(fmt.Sprintf("vars=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.RCDP(inst.Q, inst.D, inst.Dm, inst.V); err != nil {
 					b.Fatal(err)
@@ -79,6 +81,7 @@ func BenchmarkRCDP_CQ_CQ_DataComplexity(b *testing.B) {
 		s, v := crmScenario(n)
 		q := mdm.Q0("908")
 		b.Run(fmt.Sprintf("customers=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.RCDP(q, s.D, s.Dm, v); err != nil {
 					b.Fatal(err)
@@ -94,6 +97,7 @@ func BenchmarkRCDP_UCQ(b *testing.B) {
 	for _, k := range []int{1, 2, 4, 6} {
 		q := areaUnion(k)
 		b.Run(fmt.Sprintf("disjuncts=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.RCDP(q, s.D, s.Dm, v); err != nil {
 					b.Fatal(err)
@@ -110,6 +114,7 @@ func BenchmarkRCDP_EFO(b *testing.B) {
 	for _, k := range []int{2, 3, 4} {
 		q := areaEFO(k)
 		b.Run(fmt.Sprintf("orWidth=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.RCDP(q, s.D, s.Dm, v); err != nil {
 					b.Fatal(err)
@@ -133,6 +138,7 @@ func BenchmarkRCQP_CQ_INDs_3SAT(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("vars=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.RCQP(inst.Q, inst.Dm, inst.V, inst.Schemas); err != nil {
 					b.Fatal(err)
@@ -161,6 +167,7 @@ func BenchmarkRCQP_Tiling(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				w, err := reductions.TilingWitness(inst, in, g)
 				if err != nil {
@@ -191,6 +198,7 @@ func BenchmarkRCQP_EFE(b *testing.B) {
 		}
 		d := reductions.EFEWitness(inst, wx)
 		b.Run(fmt.Sprintf("x%dy%dz%d", dims[0], dims[1], dims[2]), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.RCDP(inst.Q, d, inst.Dm, inst.V); err != nil {
 					b.Fatal(err)
@@ -207,6 +215,7 @@ func BenchmarkRCQP_CRM(b *testing.B) {
 	v := cc.NewSet(mdm.Phi0())
 	q := mdm.Q0("908")
 	b.Run("Q0/phi0", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.RCQP(q, s.Dm, v, s.Schemas); err != nil {
 				b.Fatal(err)
@@ -216,6 +225,7 @@ func BenchmarkRCQP_CRM(b *testing.B) {
 	vIND := cc.NewSet(mdm.CidIND())
 	q2 := mdm.Q2("e00")
 	b.Run("Q2/cidIND", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.RCQP(q2, s.Dm, vIND, s.Schemas); err != nil {
 				b.Fatal(err)
@@ -256,6 +266,7 @@ func BenchmarkRCDP_Workers(b *testing.B) {
 		for _, w := range benchWorkerCounts() {
 			ck := &core.Checker{Workers: w}
 			b.Run(fmt.Sprintf("vars=%d/workers=%d", n, w), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := ck.RCDP(inst.Q, inst.D, inst.Dm, inst.V); err != nil {
 						b.Fatal(err)
@@ -279,6 +290,7 @@ func BenchmarkRCQP_Workers(b *testing.B) {
 		for _, w := range benchWorkerCounts() {
 			ck := &core.QPChecker{Checker: core.Checker{Workers: w}}
 			b.Run(fmt.Sprintf("vars=%d/workers=%d", n, w), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := ck.RCQP(inst.Q, inst.Dm, inst.V, inst.Schemas); err != nil {
 						b.Fatal(err)
@@ -309,6 +321,7 @@ func BenchmarkAblationSearch(b *testing.B) {
 	dm := relation.NewDatabase(relation.NewSchema("M", relation.Attr("x")))
 	q := mdm.Q2("e0")
 	b.Run("optimized", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.RCDP(q, d, dm, vset); err != nil {
 				b.Fatal(err)
@@ -316,6 +329,7 @@ func BenchmarkAblationSearch(b *testing.B) {
 		}
 	})
 	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
 		ck := &core.Checker{Naive: true}
 		for i := 0; i < b.N; i++ {
 			if _, err := ck.RCDP(q, d, dm, vset); err != nil {
@@ -332,6 +346,7 @@ func BenchmarkAblationDeltaCC(b *testing.B) {
 	delta := relation.NewDatabase(mdm.Schemas()[mdm.Supt])
 	delta.MustAdd(mdm.Supt, "e00", "sales", "c019")
 	b.Run("delta", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := v.SatisfiedDelta(s.D, delta, s.Dm); err != nil {
 				b.Fatal(err)
@@ -339,6 +354,7 @@ func BenchmarkAblationDeltaCC(b *testing.B) {
 		}
 	})
 	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			union := s.D.Union(delta)
 			if _, err := v.Satisfied(union, s.Dm); err != nil {
@@ -356,14 +372,19 @@ func BenchmarkAblationDeltaCC(b *testing.B) {
 func BenchmarkAblationIndexJoin(b *testing.B) {
 	defer cq.SetIndexJoin(cq.SetIndexJoin(true))
 	for _, n := range []int{200, 400} {
-		s, v := crmScenario(n)
-		q := mdm.Q0("908")
 		for _, mode := range []struct {
 			name string
 			on   bool
 		}{{"indexed", true}, {"noindex", false}} {
 			b.Run(fmt.Sprintf("customers=%d/%s", n, mode.name), func(b *testing.B) {
+				// Fresh scenario and query per mode: lazily built
+				// secondary indexes, sorted caches and compiled plans
+				// must not leak from one mode's iterations into the
+				// other's.
+				s, v := crmScenario(n)
+				q := mdm.Q0("908")
 				cq.SetIndexJoin(mode.on)
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := core.RCDP(q, s.D, s.Dm, v); err != nil {
@@ -379,14 +400,17 @@ func BenchmarkAblationIndexJoin(b *testing.B) {
 // evaluation layer, without the valuation search on top.
 func BenchmarkAblationIndexEvalJoin(b *testing.B) {
 	defer cq.SetIndexJoin(cq.SetIndexJoin(true))
-	s, _ := crmScenario(500)
-	q := qlang.Underlying(mdm.Q0("908")).(*cq.CQ)
 	for _, mode := range []struct {
 		name string
 		on   bool
 	}{{"indexed", true}, {"noindex", false}} {
 		b.Run(mode.name, func(b *testing.B) {
+			// Fresh scenario and query per mode (see
+			// BenchmarkAblationIndexJoin).
+			s, _ := crmScenario(500)
+			q := qlang.Underlying(mdm.Q0("908")).(*cq.CQ)
 			cq.SetIndexJoin(mode.on)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q.Eval(s.D)
@@ -404,8 +428,37 @@ func BenchmarkCQEvalJoin(b *testing.B) {
 		s, _ := crmScenario(n / 2)
 		q := qlang.Underlying(mdm.Q0("908")).(*cq.CQ)
 		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				q.Eval(s.D)
+			}
+		})
+	}
+}
+
+// BenchmarkEvalGateOverhead measures the governance tax on the hot
+// evaluation path: the same CQ join evaluated with a nil gate (the
+// ungoverned fast path, identical to Eval) and under a live gate with
+// uncapped budgets, where every join row pays an atomic increment plus
+// a cancellation check. EXPERIMENTS.md records the series; the target
+// is < 3% overhead.
+func BenchmarkEvalGateOverhead(b *testing.B) {
+	for _, mode := range []string{"ungated", "gated"} {
+		b.Run(mode, func(b *testing.B) {
+			s, _ := crmScenario(500)
+			q := qlang.Underlying(mdm.Q0("908")).(*cq.CQ)
+			var g *query.Gate
+			if mode == "gated" {
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				g = query.NewGate(ctx, 0, 0)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := q.EvalGate(s.D, g); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}
@@ -420,6 +473,7 @@ func BenchmarkDatalogTC(b *testing.B) {
 		}
 		p := datalog.TransitiveClosure("E", "TC")
 		b.Run(fmt.Sprintf("chain=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := p.Eval(d); err != nil {
 					b.Fatal(err)
@@ -432,6 +486,7 @@ func BenchmarkDatalogTC(b *testing.B) {
 func BenchmarkConstraintCheck(b *testing.B) {
 	s, v := crmScenario(400)
 	b.Run("satisfied", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if ok, err := v.Satisfied(s.D, s.Dm); err != nil || !ok {
 				b.Fatal("constraints must hold")

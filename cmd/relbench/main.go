@@ -7,9 +7,16 @@
 // instances. See EXPERIMENTS.md for the recorded results.
 //
 // Usage: relbench [-table 0|1|2] [-quick] [-workers N] [-json] [-noindex]
+//
+//	[-timeout D] [-steps N]
+//
+// -timeout and -steps govern every timed check (wall-clock deadline and
+// join-row step budget respectively); a check stopped by governance
+// reports verdict "unknown" with the exhausted dimension as its reason.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -38,7 +45,10 @@ var (
 	records  []benchRecord
 )
 
-// benchRecord is one timed sweep data point for -json output.
+// benchRecord is one timed sweep data point for -json output. Verdict
+// and Reason report the governed outcome: verdict "unknown" plus the
+// exhausted dimension when -timeout/-steps stopped the check, empty
+// reason otherwise.
 type benchRecord struct {
 	Table       string `json:"table"`
 	Name        string `json:"name"`
@@ -48,13 +58,16 @@ type benchRecord struct {
 	DurationNS  int64  `json:"duration_ns"`
 	AllocsPerOp int64  `json:"allocs_per_op"`
 	Agree       *bool  `json:"agree,omitempty"`
+	Verdict     string `json:"verdict,omitempty"`
+	Reason      string `json:"reason,omitempty"`
 }
 
-func record(table, name string, param int, dur time.Duration, allocs int64, agree *bool) {
+func record(table, name string, param int, dur time.Duration, allocs int64, agree *bool, verdict string, reason core.Reason) {
 	records = append(records, benchRecord{
 		Table: table, Name: name, Param: param,
 		Workers: checker.Workers, NoIndex: noIndex,
 		DurationNS: dur.Nanoseconds(), AllocsPerOp: allocs, Agree: agree,
+		Verdict: verdict, Reason: reason.String(),
 	})
 }
 
@@ -76,13 +89,16 @@ func main() {
 	table := flag.Int("table", 0, "which table to regenerate (1, 2, or 0 for both)")
 	quick := flag.Bool("quick", false, "smaller sweeps")
 	workers := flag.Int("workers", 0, "valuation-search workers (0 = GOMAXPROCS, 1 = sequential)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget per governed check (0 = unlimited)")
+	steps := flag.Int64("steps", 0, "join-row step budget per governed check (0 = unlimited)")
 	flag.BoolVar(&jsonMode, "json", false, "emit timed sweep results as JSON instead of tables")
 	flag.BoolVar(&noIndex, "noindex", false, "disable the indexed join engine (ablation baseline)")
 	flag.Parse()
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
-	checker = core.Checker{Workers: *workers}
+	checker = core.Checker{Workers: *workers,
+		Budget: core.Budget{Timeout: *timeout, MaxJoinRows: *steps}}
 	cq.SetIndexJoin(!noIndex)
 	if *table == 0 || *table == 1 {
 		if err := tableI(*quick); err != nil {
@@ -288,17 +304,21 @@ func sweepForallExists(nVars int) (time.Duration, bool, error) {
 	var r *core.RCDPResult
 	dur, allocs, err := timed(func() error {
 		var e error
-		r, e = checker.RCDP(inst.Q, inst.D, inst.Dm, inst.V)
+		r, e = checker.RCDPCtx(context.Background(), inst.Q, inst.D, inst.Dm, inst.V)
 		return e
 	})
 	if err != nil {
 		return 0, false, err
 	}
+	if r.Verdict == core.VerdictUnknown {
+		record("I", "forall-exists-3sat", nVars, dur, allocs, nil, r.Verdict.String(), r.Reason)
+		return dur, true, nil
+	}
 	agree := true
 	if nVars <= 10 {
 		agree = r.Complete == sat.ForallExists(phi, nX)
 	}
-	record("I", "forall-exists-3sat", nVars, dur, allocs, &agree)
+	record("I", "forall-exists-3sat", nVars, dur, allocs, &agree, r.Verdict.String(), r.Reason)
 	return dur, agree, nil
 }
 
@@ -310,14 +330,16 @@ func sweepCRMData(customers int) (time.Duration, error) {
 	s := mdm.Generate(cfg)
 	vset := cc.NewSet(mdm.Phi0(), mdm.Phi1(cfg.MaxSupport))
 	q := mdm.Q0("908")
+	var r *core.RCDPResult
 	dur, allocs, err := timed(func() error {
-		_, e := checker.RCDP(q, s.D, s.Dm, vset)
+		var e error
+		r, e = checker.RCDPCtx(context.Background(), q, s.D, s.Dm, vset)
 		return e
 	})
 	if err != nil {
 		return 0, err
 	}
-	record("I", "crm-data", customers, dur, allocs, nil)
+	record("I", "crm-data", customers, dur, allocs, nil, r.Verdict.String(), r.Reason)
 	return dur, nil
 }
 
@@ -327,14 +349,16 @@ func sweepUCQ(disjuncts int) (time.Duration, error) {
 	s := mdm.Generate(cfg)
 	vset := cc.NewSet(mdm.Phi0())
 	u := buildAreaUnion(disjuncts)
+	var r *core.RCDPResult
 	dur, allocs, err := timed(func() error {
-		_, e := checker.RCDP(u, s.D, s.Dm, vset)
+		var e error
+		r, e = checker.RCDPCtx(context.Background(), u, s.D, s.Dm, vset)
 		return e
 	})
 	if err != nil {
 		return 0, err
 	}
-	record("I", "ucq-union", disjuncts, dur, allocs, nil)
+	record("I", "ucq-union", disjuncts, dur, allocs, nil, r.Verdict.String(), r.Reason)
 	return dur, nil
 }
 
@@ -344,14 +368,16 @@ func sweepEFO() (time.Duration, error) {
 	s := mdm.Generate(cfg)
 	vset := cc.NewSet(mdm.Phi0())
 	q := buildAreaEFO()
+	var r *core.RCDPResult
 	dur, allocs, err := timed(func() error {
-		_, e := checker.RCDP(q, s.D, s.Dm, vset)
+		var e error
+		r, e = checker.RCDPCtx(context.Background(), q, s.D, s.Dm, vset)
 		return e
 	})
 	if err != nil {
 		return 0, err
 	}
-	record("I", "efo-dnf", 0, dur, allocs, nil)
+	record("I", "efo-dnf", 0, dur, allocs, nil, r.Verdict.String(), r.Reason)
 	return dur, nil
 }
 
@@ -445,15 +471,19 @@ func sweepThreeSAT(nVars int) (time.Duration, bool, error) {
 	var res *core.RCQPResult
 	dur, allocs, err := timed(func() error {
 		var e error
-		res, e = (&core.QPChecker{Checker: checker}).RCQP(inst.Q, inst.Dm, inst.V, inst.Schemas)
+		res, e = (&core.QPChecker{Checker: checker}).RCQPCtx(context.Background(), inst.Q, inst.Dm, inst.V, inst.Schemas)
 		return e
 	})
 	if err != nil {
 		return 0, false, err
 	}
+	if res.Status == core.Unknown && res.Reason != core.ReasonNone {
+		record("II", "3sat-rcqp", nVars, dur, allocs, nil, res.Status.String(), res.Reason)
+		return dur, true, nil
+	}
 	_, satisfiable := phi.Solve()
 	agree := (res.Status == core.No) == satisfiable
-	record("II", "3sat-rcqp", nVars, dur, allocs, &agree)
+	record("II", "3sat-rcqp", nVars, dur, allocs, &agree, res.Status.String(), res.Reason)
 	return dur, agree, nil
 }
 
@@ -471,14 +501,20 @@ func sweepTiling(n int) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
+	var verdict core.Verdict
+	var reason core.Reason
 	dur, allocs, err := timed(func() error {
 		w, e := reductions.TilingWitness(inst, in, g)
 		if e != nil {
 			return e
 		}
-		r, e := checker.RCDP(inst.Q, w, inst.Dm, inst.V)
+		r, e := checker.RCDPCtx(context.Background(), inst.Q, w, inst.Dm, inst.V)
 		if e != nil {
 			return e
+		}
+		verdict, reason = r.Verdict, r.Reason
+		if r.Verdict == core.VerdictUnknown {
+			return nil
 		}
 		if !r.Complete {
 			return fmt.Errorf("tiling witness rejected")
@@ -488,7 +524,7 @@ func sweepTiling(n int) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
-	record("II", "tiling", n, dur, allocs, nil)
+	record("II", "tiling", n, dur, allocs, nil, verdict.String(), reason)
 	return dur, nil
 }
 
@@ -499,28 +535,27 @@ func sweepEFE(nX, nY, nZ int) (time.Duration, bool, error) {
 		return 0, false, err
 	}
 	agree := true
+	var verdict core.Verdict
+	var reason core.Reason
 	dur, allocs, err := timed(func() error {
 		witnessX, holds := sat.ExistsWitness(phi, nX, nY)
-		if holds {
-			d := reductions.EFEWitness(inst, witnessX)
-			r, e := checker.RCDP(inst.Q, d, inst.Dm, inst.V)
-			if e != nil {
-				return e
-			}
-			agree = r.Complete
-		} else {
-			d := reductions.EFEWitness(inst, map[int]bool{})
-			r, e := checker.RCDP(inst.Q, d, inst.Dm, inst.V)
-			if e != nil {
-				return e
-			}
-			agree = !r.Complete
+		if !holds {
+			witnessX = map[int]bool{}
+		}
+		d := reductions.EFEWitness(inst, witnessX)
+		r, e := checker.RCDPCtx(context.Background(), inst.Q, d, inst.Dm, inst.V)
+		if e != nil {
+			return e
+		}
+		verdict, reason = r.Verdict, r.Reason
+		if r.Verdict != core.VerdictUnknown {
+			agree = r.Complete == holds
 		}
 		return nil
 	})
 	if err != nil {
 		return 0, false, err
 	}
-	record("II", "efe-3sat", nX+nY+nZ, dur, allocs, &agree)
+	record("II", "efe-3sat", nX+nY+nZ, dur, allocs, &agree, verdict.String(), reason)
 	return dur, agree, nil
 }

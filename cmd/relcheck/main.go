@@ -9,14 +9,21 @@
 //	relcheck -schemas r.schema -master-schemas rm.schema \
 //	         -db d.facts -master dm.facts \
 //	         -constraints v.cc -query q.cq [-mode rcdp|rcqp|both]
+//	         [-timeout D] [-steps N]
 //
 // All files use the textq format (see package repro/internal/textq).
+// -timeout and -steps bound the decision procedures (wall clock and
+// join-row steps); a governed stop prints an UNKNOWN verdict naming the
+// exhausted dimension instead of running unboundedly — the Σ₂ᵖ/Σ₃ᵖ
+// lower bounds mean no useful completion deadline can be promised.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/cc"
 	"repro/internal/core"
@@ -35,15 +42,18 @@ func main() {
 		queryPath     = flag.String("query", "", "query (required)")
 		mode          = flag.String("mode", "rcdp", "rcdp, rcqp or both")
 		verbose       = flag.Bool("v", false, "print inputs before deciding")
+		timeout       = flag.Duration("timeout", 0, "wall-clock budget per check (0 = unlimited)")
+		steps         = flag.Int64("steps", 0, "join-row step budget per check (0 = unlimited)")
 	)
 	flag.Parse()
-	if err := run(*schemasPath, *mSchemasPath, *dbPath, *masterPath, *constraintsPp, *queryPath, *mode, *verbose); err != nil {
+	budget := core.Budget{Timeout: *timeout, MaxJoinRows: *steps}
+	if err := run(*schemasPath, *mSchemasPath, *dbPath, *masterPath, *constraintsPp, *queryPath, *mode, *verbose, budget); err != nil {
 		fmt.Fprintln(os.Stderr, "relcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(schemasPath, mSchemasPath, dbPath, masterPath, constraintsPath, queryPath, mode string, verbose bool) error {
+func run(schemasPath, mSchemasPath, dbPath, masterPath, constraintsPath, queryPath, mode string, verbose bool, budget core.Budget) error {
 	if schemasPath == "" || queryPath == "" {
 		return fmt.Errorf("-schemas and -query are required")
 	}
@@ -97,23 +107,33 @@ func run(schemasPath, mSchemasPath, dbPath, masterPath, constraintsPath, queryPa
 		if err != nil {
 			return err
 		}
-		if err := reportRCDP(q, d, dm, vset); err != nil {
+		if err := reportRCDP(q, d, dm, vset, budget); err != nil {
 			return err
 		}
 	}
 	if doRCQP {
-		if err := reportRCQP(q, dm, vset, schemas); err != nil {
+		if err := reportRCQP(q, dm, vset, schemas, budget); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func reportRCDP(q qlang.Query, d, dm *relation.Database, vset *cc.Set) error {
+// governedStop renders an Unknown verdict's budget report.
+func governedStop(reason core.Reason, stats core.BudgetStats) string {
+	return fmt.Sprintf("stopped by %s budget (rows=%d, tuples=%d, elapsed=%v)",
+		reason, stats.JoinRows, stats.Tuples, stats.Elapsed.Round(time.Millisecond))
+}
+
+func reportRCDP(q qlang.Query, d, dm *relation.Database, vset *cc.Set, budget core.Budget) error {
 	if !q.Lang().Monotone() || !vset.AllMonotone() {
-		r, err := core.BoundedRCDP(q, d, dm, vset, core.BoundedOpts{})
+		r, err := core.BoundedRCDPCtx(context.Background(), q, d, dm, vset, core.BoundedOpts{Budget: budget})
 		if err != nil {
 			return err
+		}
+		if r.Verdict == core.VerdictUnknown {
+			fmt.Printf("RCDP: UNKNOWN (undecidable fragment, bounded search) — %s\n", governedStop(r.Reason, r.Stats))
+			return nil
 		}
 		if r.Incomplete {
 			fmt.Printf("RCDP: INCOMPLETE (undecidable fragment, bounded search)\n  extension:\n%s", indent(r.Extension.String()))
@@ -125,9 +145,14 @@ func reportRCDP(q qlang.Query, d, dm *relation.Database, vset *cc.Set) error {
 		}
 		return nil
 	}
-	r, err := core.RCDP(q, d, dm, vset)
+	ck := core.Checker{Budget: budget}
+	r, err := ck.RCDPCtx(context.Background(), q, d, dm, vset)
 	if err != nil {
 		return err
+	}
+	if r.Verdict == core.VerdictUnknown {
+		fmt.Printf("RCDP: UNKNOWN — %s\n", governedStop(r.Reason, r.Stats))
+		return nil
 	}
 	if r.Complete {
 		fmt.Printf("RCDP: COMPLETE — D answers the query completely relative to (Dm, V) (%d valuations checked)\n", r.Valuations)
@@ -138,13 +163,18 @@ func reportRCDP(q qlang.Query, d, dm *relation.Database, vset *cc.Set) error {
 	return nil
 }
 
-func reportRCQP(q qlang.Query, dm *relation.Database, vset *cc.Set, schemas map[string]*relation.Schema) error {
+func reportRCQP(q qlang.Query, dm *relation.Database, vset *cc.Set, schemas map[string]*relation.Schema, budget core.Budget) error {
 	if !q.Lang().Monotone() || !vset.AllMonotone() {
 		return fmt.Errorf("RCQP for FO/FP inputs is undecidable (Theorem 4.1); no bounded mode is wired into relcheck")
 	}
-	res, err := core.RCQP(q, dm, vset, schemas)
+	ck := core.QPChecker{Checker: core.Checker{Budget: budget}}
+	res, err := ck.RCQPCtx(context.Background(), q, dm, vset, schemas)
 	if err != nil {
 		return err
+	}
+	if res.Status == core.Unknown && res.Reason != core.ReasonNone {
+		fmt.Printf("RCQP: UNKNOWN — %s\n", governedStop(res.Reason, res.Stats))
+		return nil
 	}
 	switch res.Status {
 	case core.Yes:

@@ -197,17 +197,29 @@ func (c *Constraint) Validate(dm *relation.Database) error {
 
 // Satisfied reports whether (D, Dm) ⊨ c.
 func (c *Constraint) Satisfied(d, dm *relation.Database) (bool, error) {
-	_, viol, err := c.Violation(d, dm)
+	return c.SatisfiedGate(d, dm, nil)
+}
+
+// SatisfiedGate is Satisfied under gate governance: the constraint
+// query evaluates through g and the gate's error is returned on
+// cancellation or budget exhaustion. A nil gate is free.
+func (c *Constraint) SatisfiedGate(d, dm *relation.Database, g *query.Gate) (bool, error) {
+	_, viol, err := c.ViolationGate(d, dm, g)
 	return !viol, err
 }
 
 // Violation returns a witness tuple in q(D) \ p(Dm) when the constraint
 // is violated (or in p(Dm) \ q(D) for a reverse constraint).
 func (c *Constraint) Violation(d, dm *relation.Database) (relation.Tuple, bool, error) {
+	return c.ViolationGate(d, dm, nil)
+}
+
+// ViolationGate is Violation under gate governance (see SatisfiedGate).
+func (c *Constraint) ViolationGate(d, dm *relation.Database, g *query.Gate) (relation.Tuple, bool, error) {
 	if c.Reverse {
-		return c.reverseViolation(d, dm)
+		return c.reverseViolation(d, dm, g)
 	}
-	lhs, err := c.Q.Eval(d)
+	lhs, err := c.Q.EvalGate(d, g)
 	if err != nil {
 		return nil, false, err
 	}
@@ -229,21 +241,27 @@ func (c *Constraint) Violation(d, dm *relation.Database) (relation.Tuple, bool, 
 // materializing the union; FO and FP fall back to full re-evaluation
 // over the union.
 func (c *Constraint) SatisfiedDelta(d, delta, dm *relation.Database) (bool, error) {
+	return c.SatisfiedDeltaGate(d, delta, dm, nil)
+}
+
+// SatisfiedDeltaGate is SatisfiedDelta under gate governance (see
+// SatisfiedGate).
+func (c *Constraint) SatisfiedDeltaGate(d, delta, dm *relation.Database, g *query.Gate) (bool, error) {
 	if c.Reverse {
 		// p(Dm) ⊆ q(D) is monotone in D for monotone q: extensions can
 		// only add q-answers, so the precondition carries over.
 		if c.Q.Lang().Monotone() {
 			return true, nil
 		}
-		return c.satisfiedUnion(d, delta, dm)
+		return c.satisfiedUnion(d, delta, dm, g)
 	}
 	if !c.Q.Lang().Monotone() {
-		return c.satisfiedUnion(d, delta, dm)
+		return c.satisfiedUnion(d, delta, dm, g)
 	}
 	rhs := c.masterSide(dm)
 	for _, t := range c.Q.Tableaux() {
 		violated := false
-		t.EvalFuncDelta(d, delta, func(b query.Binding) bool {
+		err := t.EvalFuncDeltaGate(d, delta, g, func(b query.Binding) bool {
 			h, ok := t.HeadTuple(b)
 			if !ok {
 				return true
@@ -254,6 +272,9 @@ func (c *Constraint) SatisfiedDelta(d, delta, dm *relation.Database) (bool, erro
 			}
 			return true
 		})
+		if err != nil {
+			return false, err
+		}
 		if violated {
 			return false, nil
 		}
@@ -261,8 +282,8 @@ func (c *Constraint) SatisfiedDelta(d, delta, dm *relation.Database) (bool, erro
 	return true, nil
 }
 
-func (c *Constraint) satisfiedUnion(d, delta, dm *relation.Database) (bool, error) {
-	return c.Satisfied(d.Union(delta), dm)
+func (c *Constraint) satisfiedUnion(d, delta, dm *relation.Database, g *query.Gate) (bool, error) {
+	return c.SatisfiedGate(d.Union(delta), dm, g)
 }
 
 // Set is a set V of containment constraints.
@@ -286,11 +307,18 @@ func (s *Set) Len() int {
 
 // Satisfied reports whether (D, Dm) ⊨ V.
 func (s *Set) Satisfied(d, dm *relation.Database) (bool, error) {
+	return s.SatisfiedGate(d, dm, nil)
+}
+
+// SatisfiedGate is Satisfied under gate governance: constraint queries
+// evaluate through g and the gate's error is returned on cancellation
+// or budget exhaustion. A nil gate is free.
+func (s *Set) SatisfiedGate(d, dm *relation.Database, g *query.Gate) (bool, error) {
 	if s == nil {
 		return true, nil
 	}
 	for _, c := range s.Constraints {
-		ok, err := c.Satisfied(d, dm)
+		ok, err := c.SatisfiedGate(d, dm, g)
 		if err != nil || !ok {
 			return false, err
 		}
@@ -318,11 +346,17 @@ func (s *Set) FirstViolation(d, dm *relation.Database) (*Constraint, relation.Tu
 
 // SatisfiedDelta reports whether (D ∪ Δ, Dm) ⊨ V assuming (D, Dm) ⊨ V.
 func (s *Set) SatisfiedDelta(d, delta, dm *relation.Database) (bool, error) {
+	return s.SatisfiedDeltaGate(d, delta, dm, nil)
+}
+
+// SatisfiedDeltaGate is SatisfiedDelta under gate governance (see
+// SatisfiedGate).
+func (s *Set) SatisfiedDeltaGate(d, delta, dm *relation.Database, g *query.Gate) (bool, error) {
 	if s == nil {
 		return true, nil
 	}
 	for _, c := range s.Constraints {
-		ok, err := c.SatisfiedDelta(d, delta, dm)
+		ok, err := c.SatisfiedDeltaGate(d, delta, dm, g)
 		if err != nil || !ok {
 			return false, err
 		}

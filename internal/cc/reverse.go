@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cq"
 	"repro/internal/qlang"
+	"repro/internal/query"
 	"repro/internal/relation"
 )
 
@@ -37,7 +38,7 @@ func ReverseFromCQ(name string, p Projection, q *cq.CQ) *Constraint {
 }
 
 // reverseViolation returns a witness tuple in p(Dm) \ q(D).
-func (c *Constraint) reverseViolation(d, dm *relation.Database) (relation.Tuple, bool, error) {
+func (c *Constraint) reverseViolation(d, dm *relation.Database, g *query.Gate) (relation.Tuple, bool, error) {
 	if c.P.IsEmptySet() || dm == nil {
 		return nil, false, nil
 	}
@@ -45,7 +46,7 @@ func (c *Constraint) reverseViolation(d, dm *relation.Database) (relation.Tuple,
 	if in == nil {
 		return nil, false, nil
 	}
-	rhs, err := c.Q.Eval(d)
+	rhs, err := c.Q.EvalGate(d, g)
 	if err != nil {
 		return nil, false, err
 	}

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 
 	"repro/internal/cc"
 	"repro/internal/qlang"
+	"repro/internal/query"
 	"repro/internal/relation"
 )
 
@@ -37,6 +40,10 @@ type BoundedOpts struct {
 	// (first-tuple branches race on a raceCtl, smallest branch wins);
 	// Explored becomes a total-work counter in parallel mode.
 	Workers int
+	// Budget bounds the resources of a governed search (see the Budget
+	// type). MaxValuations caps the number of candidate extensions
+	// (BoundedRCDP) or candidate databases (BoundedRCQP) explored.
+	Budget Budget
 }
 
 func (o BoundedOpts) withDefaults() BoundedOpts {
@@ -54,6 +61,16 @@ func (o BoundedOpts) withDefaults() BoundedOpts {
 
 // BoundedRCDPResult is the outcome of a bounded completeness check.
 type BoundedRCDPResult struct {
+	// Verdict is the three-valued governed outcome. VerdictComplete
+	// only certifies completeness up to MaxAdd; VerdictIncomplete is
+	// sound unconditionally; VerdictUnknown means governance stopped
+	// the search (see Reason).
+	Verdict Verdict
+	// Reason names the exhausted dimension on VerdictUnknown.
+	Reason Reason
+	// Stats reports resource consumption (governed runs only count
+	// JoinRows/Tuples; Valuations is the explored-candidate count).
+	Stats BudgetStats
 	// Incomplete reports that a partially closed extension changing
 	// Q(D) was found; this answer is sound unconditionally.
 	Incomplete bool
@@ -70,15 +87,55 @@ type BoundedRCDPResult struct {
 // BoundedRCDP searches for a partially closed extension of D by at most
 // MaxAdd tuples (over the constants of the problem plus FreshValues
 // fresh values) that changes the answer to Q. It accepts every query
-// and constraint language, including FO and FP.
+// and constraint language, including FO and FP. It is the ungoverned
+// wrapper over BoundedRCDPCtx: a governance stop surfaces as the
+// corresponding sentinel error instead of an Unknown verdict.
 func BoundedRCDP(q qlang.Query, d, dm *relation.Database, v *cc.Set, opts BoundedOpts) (*BoundedRCDPResult, error) {
+	res, err := BoundedRCDPCtx(context.Background(), q, d, dm, v, opts)
+	if err != nil {
+		return nil, err
+	}
+	if res.Verdict == VerdictUnknown {
+		return nil, res.Reason.Err()
+	}
+	return res, nil
+}
+
+// BoundedRCDPCtx is the governed form of BoundedRCDP: the search stops
+// promptly when ctx is cancelled or a dimension of opts.Budget runs
+// out, returning a VerdictUnknown result (nil error) carrying the
+// Reason and the resources consumed.
+func BoundedRCDPCtx(ctx context.Context, q qlang.Query, d, dm *relation.Database, v *cc.Set, opts BoundedOpts) (*BoundedRCDPResult, error) {
 	o := opts.withDefaults()
-	if ok, err := v.Satisfied(d, dm); err != nil {
+	gv := newGovernor(ctx, o.Budget)
+	defer gv.close()
+	res, err := boundedRCDPGov(q, d, dm, v, o, gv.gateOf())
+	if err != nil {
+		if r := reasonOf(err); r != ReasonNone {
+			return &BoundedRCDPResult{Verdict: VerdictUnknown, Reason: r, Stats: gv.stats(0), MaxAdd: o.MaxAdd}, nil
+		}
+		return nil, err
+	}
+	if res.Incomplete {
+		res.Verdict = VerdictIncomplete
+	} else {
+		res.Verdict = VerdictComplete
+	}
+	res.Stats = gv.stats(res.Explored)
+	return res, nil
+}
+
+// boundedRCDPGov is the engine shared by the governed and ungoverned
+// entry points; a nil gate is the uninstrumented legacy path. The
+// explored-candidate cap comes from o.Budget.MaxValuations (0 =
+// unlimited). o must already have defaults applied.
+func boundedRCDPGov(q qlang.Query, d, dm *relation.Database, v *cc.Set, o BoundedOpts, gate *query.Gate) (*BoundedRCDPResult, error) {
+	if ok, err := v.SatisfiedGate(d, dm, gate); err != nil {
 		return nil, err
 	} else if !ok {
 		return nil, fmt.Errorf("core: D is not partially closed with respect to (Dm, V)")
 	}
-	base, err := q.Eval(d)
+	base, err := q.EvalGate(d, gate)
 	if err != nil {
 		return nil, err
 	}
@@ -92,10 +149,11 @@ func BoundedRCDP(q qlang.Query, d, dm *relation.Database, v *cc.Set, opts Bounde
 		return nil, err
 	}
 	if wp := newWorkerPool(o.Workers); wp != nil {
-		return boundedRCDPParallel(q, d, dm, v, o, pool, baseSet, len(base), wp)
+		return boundedRCDPParallel(q, d, dm, v, o, pool, baseSet, len(base), wp, gate)
 	}
 	res := &BoundedRCDPResult{MaxAdd: o.MaxAdd}
 	deltaOK := v.AllMonotone()
+	expCap := o.Budget.MaxValuations
 
 	// Enumerate subsets of the pool of size 1..MaxAdd. delta carries just
 	// the added tuples, so the partial-closure recheck of each candidate
@@ -104,8 +162,14 @@ func BoundedRCDP(q qlang.Query, d, dm *relation.Database, v *cc.Set, opts Bounde
 	var rec func(start int, cur, delta *relation.Database, added int) (*BoundedRCDPResult, error)
 	rec = func(start int, cur, delta *relation.Database, added int) (*BoundedRCDPResult, error) {
 		if added > 0 {
+			if err := gate.Poll(); err != nil {
+				return nil, err
+			}
 			res.Explored++
-			r, err := boundedCounterexample(q, d, dm, v, baseSet, len(base), cur, delta, deltaOK, o.MaxAdd)
+			if expCap > 0 && res.Explored > expCap {
+				return nil, ErrBudgetExceeded
+			}
+			r, err := boundedCounterexample(q, d, dm, v, baseSet, len(base), cur, delta, deltaOK, o.MaxAdd, gate)
 			if err != nil {
 				return nil, err
 			}
@@ -128,6 +192,9 @@ func BoundedRCDP(q qlang.Query, d, dm *relation.Database, v *cc.Set, opts Bounde
 			nd := delta.Clone()
 			if err := nd.Add(pool[i].rel, pool[i].tup); err != nil {
 				continue
+			}
+			if err := gate.ChargeTuples(1); err != nil {
+				return nil, err
 			}
 			r, err := rec(i+1, next, nd, added+1)
 			if err != nil || r != nil {
@@ -152,16 +219,16 @@ func BoundedRCDP(q qlang.Query, d, dm *relation.Database, v *cc.Set, opts Bounde
 // differentially via SatisfiedDelta against the entry-verified base
 // instead of re-evaluating every constraint body over cur from scratch.
 // It returns a result without the Explored count (the caller owns the
-// accounting) and reads only shared warmed/immutable inputs, so parallel
-// branches may call it directly.
+// accounting) and reads only shared warmed/immutable inputs plus the
+// gate's atomics, so parallel branches may call it directly.
 func boundedCounterexample(q qlang.Query, base, dm *relation.Database, v *cc.Set,
-	baseSet map[string]bool, baseLen int, cur, delta *relation.Database, deltaOK bool, maxAdd int) (*BoundedRCDPResult, error) {
+	baseSet map[string]bool, baseLen int, cur, delta *relation.Database, deltaOK bool, maxAdd int, gate *query.Gate) (*BoundedRCDPResult, error) {
 	var ok bool
 	var err error
 	if deltaOK && delta != nil {
-		ok, err = v.SatisfiedDelta(base, delta, dm)
+		ok, err = v.SatisfiedDeltaGate(base, delta, dm, gate)
 	} else {
-		ok, err = v.Satisfied(cur, dm)
+		ok, err = v.SatisfiedGate(cur, dm, gate)
 	}
 	if err != nil {
 		return nil, err
@@ -169,7 +236,7 @@ func boundedCounterexample(q qlang.Query, base, dm *relation.Database, v *cc.Set
 	if !ok {
 		return nil, nil
 	}
-	ans, err := q.Eval(cur)
+	ans, err := q.EvalGate(cur, gate)
 	if err != nil {
 		return nil, err
 	}
@@ -197,12 +264,17 @@ func boundedCounterexample(q qlang.Query, base, dm *relation.Database, v *cc.Set
 // claiming branch's DFS-first counterexample is the one the sequential
 // engine returns. Explored becomes the total work across all branches
 // (the sequential early return makes the per-scheduling count
-// meaningless; the witness itself is scheduling-independent).
+// meaningless; the witness itself is scheduling-independent). An
+// explored-candidate cap claims the past-every-branch key
+// int64(len(pool)), so any genuine witness beats it — matching the
+// sequential engine's "budget surfaces only without a witness"
+// resolution for decisive budgets.
 func boundedRCDPParallel(q qlang.Query, d, dm *relation.Database, v *cc.Set, o BoundedOpts,
-	pool []poolTuple, baseSet map[string]bool, baseLen int, wp *workerPool) (*BoundedRCDPResult, error) {
+	pool []poolTuple, baseSet map[string]bool, baseLen int, wp *workerPool, gate *query.Gate) (*BoundedRCDPResult, error) {
 	warmShared(d, dm)
 	ctl := newRaceCtl()
 	deltaOK := v.AllMonotone()
+	expCap := int64(o.Budget.MaxValuations)
 	var explored atomic.Int64
 	tasks := make([]func(), 0, len(pool))
 	for bi := range pool {
@@ -223,13 +295,23 @@ func boundedRCDPParallel(q qlang.Query, d, dm *relation.Database, v *cc.Set, o B
 			if err := firstDelta.Add(pool[bi].rel, pool[bi].tup); err != nil {
 				return
 			}
+			if err := gate.ChargeTuples(1); err != nil {
+				ctl.fail(err)
+				return
+			}
 			var rec func(start int, cur, delta *relation.Database, added int) error
 			rec = func(start int, cur, delta *relation.Database, added int) error {
 				if ctl.cancelled(key) {
 					return errAbandoned
 				}
-				explored.Add(1)
-				r, err := boundedCounterexample(q, d, dm, v, baseSet, baseLen, cur, delta, deltaOK, o.MaxAdd)
+				if err := gate.Poll(); err != nil {
+					return err
+				}
+				if n := explored.Add(1); expCap > 0 && n > expCap {
+					ctl.claim(int64(len(pool)), nil)
+					return errBudgetStop
+				}
+				r, err := boundedCounterexample(q, d, dm, v, baseSet, baseLen, cur, delta, deltaOK, o.MaxAdd, gate)
 				if err != nil {
 					return err
 				}
@@ -252,6 +334,9 @@ func boundedRCDPParallel(q qlang.Query, d, dm *relation.Database, v *cc.Set, o B
 					if err := nd.Add(pool[i].rel, pool[i].tup); err != nil {
 						continue
 					}
+					if err := gate.ChargeTuples(1); err != nil {
+						return err
+					}
 					if err := rec(i+1, next, nd, added+1); err != nil {
 						return err
 					}
@@ -259,14 +344,14 @@ func boundedRCDPParallel(q qlang.Query, d, dm *relation.Database, v *cc.Set, o B
 				return nil
 			}
 			switch err := rec(bi+1, first, firstDelta, 1); err {
-			case nil, errStop, errAbandoned:
+			case nil, errStop, errAbandoned, errBudgetStop:
 			default:
 				ctl.fail(err)
 			}
 		})
 	}
 	wp.run(tasks)
-	val, _, err := ctl.result()
+	val, key, err := ctl.result()
 	if err != nil {
 		return nil, err
 	}
@@ -274,6 +359,10 @@ func boundedRCDPParallel(q qlang.Query, d, dm *relation.Database, v *cc.Set, o B
 		r := val.(*BoundedRCDPResult)
 		r.Explored = int(explored.Load())
 		return r, nil
+	}
+	if key != noKey {
+		// A budget claim with no witness beating it.
+		return nil, ErrBudgetExceeded
 	}
 	return &BoundedRCDPResult{MaxAdd: o.MaxAdd, Explored: int(explored.Load())}, nil
 }
@@ -328,6 +417,14 @@ func tuplePool(d, dm *relation.Database, q qlang.Query, v *cc.Set, o BoundedOpts
 // BoundedRCQPResult is the outcome of a bounded witness search for the
 // relatively complete query problem.
 type BoundedRCQPResult struct {
+	// Verdict is the governed outcome: VerdictComplete iff Found,
+	// VerdictIncomplete when the space was exhausted without a witness,
+	// VerdictUnknown when governance stopped the search (see Reason).
+	Verdict Verdict
+	// Reason names the exhausted dimension on VerdictUnknown.
+	Reason Reason
+	// Stats reports resource consumption of governed runs.
+	Stats BudgetStats
 	// Found reports that a candidate database of at most MaxTuples pool
 	// tuples was found that is partially closed and complete for Q up
 	// to extensions of MaxAdd tuples. For monotone languages with the
@@ -342,25 +439,73 @@ type BoundedRCQPResult struct {
 // BoundedRCQP searches for a database of at most maxTuples pool tuples
 // that is partially closed with respect to (Dm, V) and complete for Q
 // up to the BoundedRCDP bound. schemas describes the database schema R.
+// It is the ungoverned wrapper over BoundedRCQPCtx.
 func BoundedRCQP(q qlang.Query, dm *relation.Database, v *cc.Set, schemas map[string]*relation.Schema, maxTuples int, opts BoundedOpts) (*BoundedRCQPResult, error) {
+	res, err := BoundedRCQPCtx(context.Background(), q, dm, v, schemas, maxTuples, opts)
+	if err != nil {
+		return nil, err
+	}
+	if res.Verdict == VerdictUnknown {
+		return nil, res.Reason.Err()
+	}
+	return res, nil
+}
+
+// BoundedRCQPCtx is the governed form of BoundedRCQP. The inner
+// per-candidate BoundedRCDP searches share the check's single gate, so
+// the global dimensions (deadline, rows, tuples) bound the whole
+// search; the explored-candidate cap (Budget.MaxValuations) applies to
+// the outer candidate-database enumeration, and an inner search that
+// trips it merely marks that candidate unverifiable (skipped), matching
+// RCQP's per-candidate valuation-budget semantics.
+func BoundedRCQPCtx(ctx context.Context, q qlang.Query, dm *relation.Database, v *cc.Set, schemas map[string]*relation.Schema, maxTuples int, opts BoundedOpts) (*BoundedRCQPResult, error) {
 	o := opts.withDefaults()
+	gv := newGovernor(ctx, o.Budget)
+	defer gv.close()
+	res, err := boundedRCQPGov(q, dm, v, schemas, maxTuples, o, gv.gateOf())
+	if err != nil {
+		if r := reasonOf(err); r != ReasonNone {
+			return &BoundedRCQPResult{Verdict: VerdictUnknown, Reason: r, Stats: gv.stats(0)}, nil
+		}
+		return nil, err
+	}
+	if res.Found {
+		res.Verdict = VerdictComplete
+	} else {
+		res.Verdict = VerdictIncomplete
+	}
+	res.Stats = gv.stats(res.Explored)
+	return res, nil
+}
+
+func boundedRCQPGov(q qlang.Query, dm *relation.Database, v *cc.Set, schemas map[string]*relation.Schema, maxTuples int, o BoundedOpts, gate *query.Gate) (*BoundedRCQPResult, error) {
 	empty := emptyDatabase(schemas)
 	pool, err := tuplePool(empty, dm, q, v, o)
 	if err != nil {
 		return nil, err
 	}
+	expCap := o.Budget.MaxValuations
 	res := &BoundedRCQPResult{}
 	var rec func(start int, cur *relation.Database, added int) (*BoundedRCQPResult, error)
 	rec = func(start int, cur *relation.Database, added int) (*BoundedRCQPResult, error) {
+		if err := gate.Poll(); err != nil {
+			return nil, err
+		}
 		res.Explored++
-		if ok, err := v.Satisfied(cur, dm); err != nil {
+		if expCap > 0 && res.Explored > expCap {
+			return nil, ErrBudgetExceeded
+		}
+		if ok, err := v.SatisfiedGate(cur, dm, gate); err != nil {
 			return nil, err
 		} else if ok {
-			r, err := BoundedRCDP(q, cur, dm, v, opts)
-			if err != nil {
+			r, err := boundedRCDPGov(q, cur, dm, v, o, gate)
+			switch {
+			case errors.Is(err, ErrBudgetExceeded):
+				// The inner completeness check ran out of its candidate
+				// budget: the candidate is unverifiable, skip it.
+			case err != nil:
 				return nil, err
-			}
-			if !r.Incomplete {
+			case !r.Incomplete:
 				return &BoundedRCQPResult{Found: true, Witness: cur, Explored: res.Explored}, nil
 			}
 		}
@@ -371,6 +516,9 @@ func BoundedRCQP(q qlang.Query, dm *relation.Database, v *cc.Set, schemas map[st
 			next := cur.Clone()
 			if err := next.Add(pool[i].rel, pool[i].tup); err != nil {
 				continue
+			}
+			if err := gate.ChargeTuples(1); err != nil {
+				return nil, err
 			}
 			r, err := rec(i+1, next, added+1)
 			if err != nil || r != nil {

@@ -174,6 +174,11 @@ func (w *searchWorker) rec(i, freshUsed int) error {
 		return errAbandoned
 	}
 	s := w.s
+	if err := s.gate.Poll(); err != nil {
+		// Governance stop: surface through ctl.fail (via branchTasks'
+		// error path) so every other branch abandons promptly.
+		return err
+	}
 	if i == len(s.order) {
 		if !w.budget.visit() {
 			w.ctl.claim(budgetKey(keyDisjunct(w.key)), nil)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -15,6 +16,17 @@ import (
 type RCDPResult struct {
 	// Complete reports D ∈ RCQ(Q, Dm, V).
 	Complete bool
+	// Verdict is the three-valued outcome. The Ctx entry points set it
+	// on every result: Complete/Incomplete mirror the boolean when the
+	// search finished, VerdictUnknown means governance stopped it
+	// first (Complete is then meaningless). The legacy entry points
+	// never return Unknown — they translate it into an error.
+	Verdict Verdict
+	// Reason, when Verdict is Unknown, names the exhausted dimension.
+	Reason Reason
+	// Stats reports the resources consumed (Ctx entry points only;
+	// JoinRows/Tuples are counted only on governed runs).
+	Stats BudgetStats
 	// Extension, when incomplete, is a set Δ of tuples such that
 	// D ∪ Δ is partially closed and Q(D ∪ Δ) ≠ Q(D).
 	Extension *relation.Database
@@ -48,6 +60,10 @@ type Checker struct {
 	// (see DESIGN.md, "Parallel search"): the parallel engine returns
 	// byte-identical verdict/Extension/NewTuple/Disjunct to Workers=1.
 	Workers int
+	// Budget bounds every check this checker runs (see Budget). Applied
+	// by the Ctx entry points and by the legacy wrappers alike; the
+	// zero value is unlimited.
+	Budget Budget
 }
 
 // effectiveWorkers resolves the Workers field to a concrete count.
@@ -62,6 +78,12 @@ func (ck *Checker) effectiveWorkers() int {
 // default checker. See Checker.RCDP.
 func RCDP(q qlang.Query, d, dm *relation.Database, v *cc.Set) (*RCDPResult, error) {
 	return (&Checker{}).RCDP(q, d, dm, v)
+}
+
+// RCDPCtx decides the relatively complete database problem with the
+// default checker under context/budget governance. See Checker.RCDPCtx.
+func RCDPCtx(ctx context.Context, q qlang.Query, d, dm *relation.Database, v *cc.Set) (*RCDPResult, error) {
+	return (&Checker{}).RCDPCtx(ctx, q, d, dm, v)
 }
 
 // RCDP decides RCDP(L_Q, L_C) for monotone L_Q and L_C (CQ, UCQ, ∃FO⁺;
@@ -80,27 +102,71 @@ func RCDP(q qlang.Query, d, dm *relation.Database, v *cc.Set) (*RCDPResult, erro
 // It is an error to call RCDP with FO or FP queries or constraints
 // (Theorem 3.1: undecidable) — use BoundedRCDP for those — or with a D
 // that is not partially closed with respect to (Dm, V).
+//
+// RCDP is the ungoverned form of RCDPCtx: it runs with
+// context.Background() and surfaces a governance stop (only possible
+// when ck.Budget is set, or via the legacy MaxValuations cap) as the
+// corresponding sentinel error (ErrBudgetExceeded, query.ErrRowBudget,
+// …) instead of an Unknown verdict.
 func (ck *Checker) RCDP(q qlang.Query, d, dm *relation.Database, v *cc.Set) (*RCDPResult, error) {
-	return ck.rcdp(q, d, dm, v, nil)
+	res, err := ck.RCDPCtx(context.Background(), q, d, dm, v)
+	if err != nil {
+		return nil, err
+	}
+	if res.Verdict == VerdictUnknown {
+		return nil, res.Reason.Err()
+	}
+	return res, nil
 }
 
-// rcdp is RCDP with an optional externally-owned worker pool, so that
+// RCDPCtx is RCDP under context/budget governance. It returns a nil
+// error with Verdict=VerdictUnknown (plus the Reason and the consumed
+// Stats) when ctx is cancelled, the deadline expires or a budget
+// dimension runs out before the search decides; genuine failures
+// (undecidable language, D not partially closed, schema errors) are
+// still errors. For decisive budgets — far from the amount of work a
+// verdict needs — the verdict and reason are identical at Workers=1 and
+// Workers=N; near the boundary the parallel engine's speculative work
+// can tip a run to either side (see DESIGN.md "Resource governance").
+func (ck *Checker) RCDPCtx(ctx context.Context, q qlang.Query, d, dm *relation.Database, v *cc.Set) (*RCDPResult, error) {
+	gv := newGovernor(ctx, ck.Budget)
+	defer gv.close()
+	res, err := ck.rcdp(q, d, dm, v, nil, gv)
+	if err != nil {
+		if r := reasonOf(err); r != ReasonNone {
+			return &RCDPResult{Verdict: VerdictUnknown, Reason: r, Stats: gv.stats(0)}, nil
+		}
+		return nil, err
+	}
+	if res.Complete {
+		res.Verdict = VerdictComplete
+	} else {
+		res.Verdict = VerdictIncomplete
+	}
+	res.Stats = gv.stats(res.Valuations)
+	return res, nil
+}
+
+// rcdp is RCDP with an optional externally-owned worker pool — so that
 // RCQP's candidate checks and the RCDP disjunct searches they trigger
-// draw goroutines from one shared pool instead of multiplying.
-func (ck *Checker) rcdp(q qlang.Query, d, dm *relation.Database, v *cc.Set, pool *workerPool) (*RCDPResult, error) {
+// draw goroutines from one shared pool instead of multiplying — and an
+// optional governor (nil = ungoverned, zero instrumentation cost).
+// Governance stops surface as the gate's errors / ErrBudgetExceeded.
+func (ck *Checker) rcdp(q qlang.Query, d, dm *relation.Database, v *cc.Set, pool *workerPool, gv *governor) (*RCDPResult, error) {
 	if !q.Lang().Monotone() {
 		return nil, fmt.Errorf("core: RCDP is undecidable for L_Q = %v (Theorem 3.1); use BoundedRCDP", q.Lang())
 	}
 	if v != nil && !v.AllMonotone() {
 		return nil, fmt.Errorf("core: RCDP is undecidable for L_C = %v (Theorem 3.1); use BoundedRCDP", v.MaxLang())
 	}
-	if ok, err := v.Satisfied(d, dm); err != nil {
+	gate := gv.gateOf()
+	if ok, err := v.SatisfiedGate(d, dm, gate); err != nil {
 		return nil, err
 	} else if !ok {
 		return nil, fmt.Errorf("core: D is not partially closed with respect to (Dm, V)")
 	}
 
-	answers, err := q.Eval(d)
+	answers, err := q.EvalGate(d, gate)
 	if err != nil {
 		return nil, err
 	}
@@ -133,7 +199,8 @@ func (ck *Checker) rcdp(q qlang.Query, d, dm *relation.Database, v *cc.Set, pool
 			continue // disjunct unsatisfiable under domain constraints
 		}
 		search.naive = ck.Naive
-		search.budget = ck.MaxValuations
+		search.budget = ck.effectiveValuations()
+		search.gate = gate
 		if !ck.Naive {
 			search.pruner = newINDPruner(t, v, dm)
 			search.applyCollapseFrom(constrained)
@@ -147,7 +214,7 @@ func (ck *Checker) rcdp(q qlang.Query, d, dm *relation.Database, v *cc.Set, pool
 			pool = newWorkerPool(workers)
 		}
 		if pool != nil {
-			return ck.rcdpParallel(pool, tableaux, searches, d, dm, v, schemas, answerSet)
+			return ck.rcdpParallel(pool, tableaux, searches, d, dm, v, schemas, answerSet, gate)
 		}
 	}
 
@@ -160,7 +227,7 @@ func (ck *Checker) rcdp(q qlang.Query, d, dm *relation.Database, v *cc.Set, pool
 		var found *RCDPResult
 		var cbErr error
 		err := search.run(func(b query.Binding) bool {
-			r, err := rcdpWitness(t, di, b, schemas, answerSet, d, dm, v)
+			r, err := rcdpWitness(t, di, b, schemas, answerSet, d, dm, v, gate)
 			if err != nil {
 				cbErr = err
 				return false
@@ -195,7 +262,7 @@ func (ck *Checker) rcdp(q qlang.Query, d, dm *relation.Database, v *cc.Set, pool
 // Dm, V, schemas) and allocates fresh output objects, so the parallel
 // engine may call it concurrently.
 func rcdpWitness(t *cq.Tableau, di int, b query.Binding, schemas map[string]*relation.Schema,
-	answerSet map[string]bool, d, dm *relation.Database, v *cc.Set) (*RCDPResult, error) {
+	answerSet map[string]bool, d, dm *relation.Database, v *cc.Set, gate *query.Gate) (*RCDPResult, error) {
 	head, ok := t.HeadTuple(b)
 	if !ok {
 		return nil, nil
@@ -207,7 +274,10 @@ func rcdpWitness(t *cq.Tableau, di int, b query.Binding, schemas map[string]*rel
 	if err != nil {
 		return nil, err
 	}
-	sat, err := v.SatisfiedDelta(d, delta, dm)
+	if err := gate.ChargeTuples(delta.TupleCount()); err != nil {
+		return nil, err
+	}
+	sat, err := v.SatisfiedDeltaGate(d, delta, dm, gate)
 	if err != nil {
 		return nil, err
 	}
@@ -229,7 +299,8 @@ func rcdpWitness(t *cq.Tableau, di int, b query.Binding, schemas map[string]*rel
 // budget controllers preserve the MaxValuations semantics. See
 // DESIGN.md, "Parallel search", for the determinism argument.
 func (ck *Checker) rcdpParallel(pool *workerPool, tableaux []*cq.Tableau, searches []*valuationSearch,
-	d, dm *relation.Database, v *cc.Set, schemas map[string]*relation.Schema, answerSet map[string]bool) (*RCDPResult, error) {
+	d, dm *relation.Database, v *cc.Set, schemas map[string]*relation.Schema, answerSet map[string]bool,
+	gate *query.Gate) (*RCDPResult, error) {
 	warmShared(d, dm)
 	ctl := newRaceCtl()
 	budgets := make([]*budgetCtl, len(tableaux))
@@ -240,9 +311,9 @@ func (ck *Checker) rcdpParallel(pool *workerPool, tableaux []*cq.Tableau, search
 			continue
 		}
 		t, di := t, di
-		budgets[di] = newBudgetCtl(ck.MaxValuations)
+		budgets[di] = newBudgetCtl(ck.effectiveValuations())
 		fn := func(b query.Binding) (any, error) {
-			r, err := rcdpWitness(t, di, b, schemas, answerSet, d, dm, v)
+			r, err := rcdpWitness(t, di, b, schemas, answerSet, d, dm, v, gate)
 			if err != nil {
 				return nil, err
 			}

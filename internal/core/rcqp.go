@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cc"
@@ -53,6 +54,12 @@ type RCQPResult struct {
 	// Candidates is the number of candidate witness databases examined
 	// by the certificate search.
 	Candidates int
+	// Reason, when Status is Unknown because governance stopped the
+	// check (RCQPCtx only), names the exhausted dimension; ReasonNone
+	// for the pre-existing caps-exhausted Unknown.
+	Reason Reason
+	// Stats reports the resources consumed (Ctx entry points only).
+	Stats BudgetStats
 }
 
 // QPChecker configures the RCQP certificate search.
@@ -88,6 +95,13 @@ func RCQP(q qlang.Query, dm *relation.Database, v *cc.Set, schemas map[string]*r
 	return (&QPChecker{}).RCQP(q, dm, v, schemas)
 }
 
+// RCQPCtx decides the relatively complete query problem with the
+// default checker under context/budget governance. See
+// QPChecker.RCQPCtx.
+func RCQPCtx(ctx context.Context, q qlang.Query, dm *relation.Database, v *cc.Set, schemas map[string]*relation.Schema) (*RCQPResult, error) {
+	return (&QPChecker{}).RCQPCtx(ctx, q, dm, v, schemas)
+}
+
 // RCQP decides RCQP(L_Q, L_C) for monotone L_Q: given Q, Dm and V, is
 // there any database complete for Q relative to (Dm, V)?
 //
@@ -102,6 +116,21 @@ func RCQP(q qlang.Query, dm *relation.Database, v *cc.Set, schemas map[string]*r
 // witness. schemas must cover every relation of the database schema R
 // that Q or V mentions.
 func (ck *QPChecker) RCQP(q qlang.Query, dm *relation.Database, v *cc.Set, schemas map[string]*relation.Schema) (*RCQPResult, error) {
+	res, err := ck.RCQPCtx(context.Background(), q, dm, v, schemas)
+	if err != nil {
+		return nil, err
+	}
+	if res.Status == Unknown && res.Reason != ReasonNone {
+		return nil, res.Reason.Err()
+	}
+	return res, nil
+}
+
+// RCQPCtx is RCQP under context/budget governance (the budget is
+// ck.Checker.Budget). A governance stop returns Status=Unknown with the
+// Reason set and a nil error; the pre-existing caps-exhausted Unknown
+// keeps ReasonNone. See Checker.RCDPCtx for the determinism contract.
+func (ck *QPChecker) RCQPCtx(ctx context.Context, q qlang.Query, dm *relation.Database, v *cc.Set, schemas map[string]*relation.Schema) (*RCQPResult, error) {
 	if !q.Lang().Monotone() {
 		return nil, fmt.Errorf("core: RCQP is undecidable for L_Q = %v (Theorem 4.1); use BoundedRCQP", q.Lang())
 	}
@@ -109,15 +138,31 @@ func (ck *QPChecker) RCQP(q qlang.Query, dm *relation.Database, v *cc.Set, schem
 		return nil, fmt.Errorf("core: RCQP is undecidable for L_C = %v (Theorem 4.1); use BoundedRCQP", v.MaxLang())
 	}
 	cfg := ck.withDefaults()
+	gv := newGovernor(ctx, cfg.Checker.Budget)
+	defer gv.close()
 	// One pool shared by every parallel search this call triggers: the
 	// E3/E4 disjunct searches, the certificate search's candidate
 	// checks, and the RCDP confirmations nested inside them (nil when
 	// the checker resolves to a single worker).
 	wp := newWorkerPool(cfg.Checker.effectiveWorkers())
+	var res *RCQPResult
+	var err error
 	if v.AllINDs() {
-		return cfg.rcqpINDs(q, dm, v, schemas, wp)
+		res, err = cfg.rcqpINDs(q, dm, v, schemas, wp, gv)
+	} else {
+		res, err = cfg.rcqpGeneral(q, dm, v, schemas, wp, gv)
 	}
-	return cfg.rcqpGeneral(q, dm, v, schemas, wp)
+	if err != nil {
+		if r := reasonOf(err); r != ReasonNone && r != ReasonValuations {
+			// A global governance stop (cancel, deadline, rows, tuples).
+			// Per-candidate valuation budgets never surface here — they
+			// skip the candidate inside the certificate search.
+			return &RCQPResult{Status: Unknown, Method: "budget", Reason: r, Stats: gv.stats(0)}, nil
+		}
+		return nil, err
+	}
+	res.Stats = gv.stats(0)
+	return res, nil
 }
 
 // headVarPositions returns, for each head variable of the tableau, the
@@ -152,7 +197,8 @@ func headVarOccurrences(t *cq.Tableau) map[string][]varPosition {
 // a finite domain (E3) — or (b) admits no valid valuation μ with
 // (μ(T_i), Dm) ⊨ V at all. INDs check tuple-by-tuple, which makes the
 // per-disjunct analysis exact.
-func (cfg QPChecker) rcqpINDs(q qlang.Query, dm *relation.Database, v *cc.Set, schemas map[string]*relation.Schema, wp *workerPool) (*RCQPResult, error) {
+func (cfg QPChecker) rcqpINDs(q qlang.Query, dm *relation.Database, v *cc.Set, schemas map[string]*relation.Schema, wp *workerPool, gv *governor) (*RCQPResult, error) {
+	gate := gv.gateOf()
 	bounded, ok := v.BoundedColumns()
 	if !ok {
 		return nil, fmt.Errorf("core: rcqpINDs called with non-IND constraints")
@@ -178,6 +224,7 @@ func (cfg QPChecker) rcqpINDs(q qlang.Query, dm *relation.Database, v *cc.Set, s
 		search.pruner = newINDPruner(t, v, dm)
 		search.applyCollapse(v)
 		search.applyRelevant(q, v, nil, dm)
+		search.gate = gate
 		doms := search.doms
 		occ := headVarOccurrences(t)
 		unbounded := ""
@@ -233,8 +280,14 @@ func (cfg QPChecker) rcqpINDs(q qlang.Query, dm *relation.Database, v *cc.Set, s
 				if err != nil {
 					return nil, nil // mirror sequential: skip, keep searching
 				}
-				sat, err := v.Satisfied(delta, dm)
-				if err != nil || !sat {
+				sat, err := v.SatisfiedGate(delta, dm, gate)
+				if err != nil {
+					if isGovernErr(err) {
+						return nil, err // stop the whole race
+					}
+					return nil, nil
+				}
+				if !sat {
 					return nil, nil
 				}
 				// The binding is worker-owned and unwound after return:
@@ -255,18 +308,29 @@ func (cfg QPChecker) rcqpINDs(q qlang.Query, dm *relation.Database, v *cc.Set, s
 	} else {
 		for _, ud := range pending {
 			var witness query.Binding
+			var gerr error
 			err := ud.search.run(func(b query.Binding) bool {
 				delta, err := ud.t.Apply(b, schemas)
 				if err != nil {
 					return true
 				}
-				sat, err := v.Satisfied(delta, dm)
-				if err != nil || !sat {
+				sat, err := v.SatisfiedGate(delta, dm, gate)
+				if err != nil {
+					if isGovernErr(err) {
+						gerr = err
+						return false
+					}
+					return true
+				}
+				if !sat {
 					return true
 				}
 				witness = b.Clone()
 				return false
 			})
+			if gerr != nil {
+				return nil, gerr
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -289,13 +353,13 @@ func (cfg QPChecker) rcqpINDs(q qlang.Query, dm *relation.Database, v *cc.Set, s
 // a partial valuation of a constraint tableau (the D⁻ shape) or a full
 // valuation of a query tableau (the D⁺ shape), plus the constant
 // templates of T_Q; each candidate is confirmed by RCDP.
-func (cfg QPChecker) rcqpGeneral(q qlang.Query, dm *relation.Database, v *cc.Set, schemas map[string]*relation.Schema, wp *workerPool) (*RCQPResult, error) {
+func (cfg QPChecker) rcqpGeneral(q qlang.Query, dm *relation.Database, v *cc.Set, schemas map[string]*relation.Schema, wp *workerPool, gv *governor) (*RCQPResult, error) {
 	tableaux := q.Tableaux()
 	if len(tableaux) == 0 {
 		// Unsatisfiable query: every partially closed database is
 		// complete; the empty database is a witness if it satisfies V.
 		empty := emptyDatabase(schemas)
-		if ok, err := v.Satisfied(empty, dm); err != nil {
+		if ok, err := v.SatisfiedGate(empty, dm, gv.gateOf()); err != nil {
 			return nil, err
 		} else if ok {
 			return &RCQPResult{Status: Yes, Witness: empty, Method: "unsatisfiable-query"}, nil
@@ -322,7 +386,11 @@ func (cfg QPChecker) rcqpGeneral(q qlang.Query, dm *relation.Database, v *cc.Set
 	}
 	if allFinite {
 		res := &RCQPResult{Status: Yes, Method: "E1", Detail: "all output variables range over finite domains"}
-		if w, n, err := cfg.searchWitness(q, dm, v, schemas, wp); err == nil && w != nil {
+		if w, n, err := cfg.searchWitness(q, dm, v, schemas, wp, gv); err != nil {
+			if isGovernErr(err) {
+				return nil, err // the Yes is exact, but governance asked to stop
+			}
+		} else if w != nil {
 			res.Witness = w
 			res.Candidates = n
 		}
@@ -330,7 +398,7 @@ func (cfg QPChecker) rcqpGeneral(q qlang.Query, dm *relation.Database, v *cc.Set
 	}
 
 	// Certificate search.
-	w, n, err := cfg.searchWitness(q, dm, v, schemas, wp)
+	w, n, err := cfg.searchWitness(q, dm, v, schemas, wp, gv)
 	if err != nil {
 		return nil, err
 	}
@@ -365,20 +433,21 @@ func emptyDatabase(schemas map[string]*relation.Schema) *relation.Database {
 // the caps. With a non-nil worker pool the iterative-deepening stage
 // checks candidates in parallel chunks; the winner (and the reported
 // candidate count) is the pre-order-first witness either way.
-func (cfg QPChecker) searchWitness(q qlang.Query, dm *relation.Database, v *cc.Set, schemas map[string]*relation.Schema, wp *workerPool) (*relation.Database, int, error) {
-	pool, base, err := cfg.buildFragmentPool(q, dm, v, schemas)
+func (cfg QPChecker) searchWitness(q qlang.Query, dm *relation.Database, v *cc.Set, schemas map[string]*relation.Schema, wp *workerPool, gv *governor) (*relation.Database, int, error) {
+	pool, base, err := cfg.buildFragmentPool(q, dm, v, schemas, gv)
 	if err != nil {
 		return nil, 0, err
 	}
 	tried := 0
 	check := func(cand *relation.Database) (*relation.Database, error) {
 		tried++
-		if ok, err := v.Satisfied(cand, dm); err != nil || !ok {
+		if ok, err := v.SatisfiedGate(cand, dm, gv.gateOf()); err != nil || !ok {
 			return nil, err
 		}
-		r, err := cfg.Checker.rcdp(q, cand, dm, v, wp)
+		r, err := cfg.Checker.rcdp(q, cand, dm, v, wp, gv)
 		if err != nil {
-			// Budget errors inside a candidate just skip the candidate.
+			// Per-candidate valuation-budget errors just skip the
+			// candidate; global governance stops propagate.
 			if err == ErrBudgetExceeded {
 				return nil, nil
 			}
@@ -405,7 +474,7 @@ func (cfg QPChecker) searchWitness(q qlang.Query, dm *relation.Database, v *cc.S
 	// like D⁻ of Example 4.1). The rounds are inherently sequential
 	// (each extends the previous counterexample), but the inner RCDP
 	// calls fan their disjunct searches out on the shared pool.
-	if ok, err := v.Satisfied(base, dm); err == nil && ok {
+	if ok, err := v.SatisfiedGate(base, dm, gv.gateOf()); err == nil && ok {
 		known := make(map[relation.Value]bool)
 		for _, val := range NewUniverse(base, dm, q, v, 0).Consts {
 			known[val] = true
@@ -413,8 +482,11 @@ func (cfg QPChecker) searchWitness(q qlang.Query, dm *relation.Database, v *cc.S
 		cur := base.Clone()
 		for round := 0; round < 64; round++ {
 			tried++
-			r, err := cfg.Checker.rcdp(q, cur, dm, v, wp)
+			r, err := cfg.Checker.rcdp(q, cur, dm, v, wp, gv)
 			if err != nil {
+				if isGovernErr(err) && err != ErrBudgetExceeded {
+					return nil, tried, err
+				}
 				break
 			}
 			if r.Complete {
@@ -434,7 +506,7 @@ func (cfg QPChecker) searchWitness(q qlang.Query, dm *relation.Database, v *cc.S
 		}
 	}
 	if wp != nil {
-		w, n, err := cfg.deepenParallel(wp, q, dm, v, schemas, pool, base, tried)
+		w, n, err := cfg.deepenParallel(wp, q, dm, v, schemas, pool, base, tried, gv)
 		return w, n, err
 	}
 	// Iterative deepening over fragment combinations.
@@ -477,7 +549,8 @@ func (cfg QPChecker) searchWitness(q qlang.Query, dm *relation.Database, v *cc.S
 // reported candidate count, which replays the sequential accounting
 // "everything up to and including the winner" — match Workers=1.
 func (cfg QPChecker) deepenParallel(wp *workerPool, q qlang.Query, dm *relation.Database, v *cc.Set,
-	schemas map[string]*relation.Schema, pool []*relation.Database, base *relation.Database, pretried int) (*relation.Database, int, error) {
+	schemas map[string]*relation.Schema, pool []*relation.Database, base *relation.Database, pretried int,
+	gv *governor) (*relation.Database, int, error) {
 	limit := cfg.MaxCandidates - pretried // checks the sequential engine would still allow
 	if limit <= 0 {
 		return nil, pretried, nil
@@ -507,7 +580,7 @@ func (cfg QPChecker) deepenParallel(wp *workerPool, q qlang.Query, dm *relation.
 				if ctl.cancelled(key) {
 					return
 				}
-				ok, err := v.Satisfied(cand, dm)
+				ok, err := v.SatisfiedGate(cand, dm, gv.gateOf())
 				if err != nil {
 					ctl.fail(err)
 					return
@@ -515,9 +588,9 @@ func (cfg QPChecker) deepenParallel(wp *workerPool, q qlang.Query, dm *relation.
 				if !ok {
 					return
 				}
-				r, err := cfg.Checker.rcdp(q, cand, dm, v, wp)
+				r, err := cfg.Checker.rcdp(q, cand, dm, v, wp, gv)
 				if err != nil {
-					if err != ErrBudgetExceeded { // budget skips the candidate
+					if err != ErrBudgetExceeded { // valuation budget skips the candidate
 						ctl.fail(err)
 					}
 					return
@@ -587,7 +660,7 @@ func (cfg QPChecker) deepenParallel(wp *workerPool, q qlang.Query, dm *relation.
 // all over Adom. base holds the constant templates of T_Q (tuple
 // templates without variables), which the Proposition 4.2 construction
 // always includes.
-func (cfg QPChecker) buildFragmentPool(q qlang.Query, dm *relation.Database, v *cc.Set, schemas map[string]*relation.Schema) (pool []*relation.Database, base *relation.Database, err error) {
+func (cfg QPChecker) buildFragmentPool(q qlang.Query, dm *relation.Database, v *cc.Set, schemas map[string]*relation.Schema, gv *governor) (pool []*relation.Database, base *relation.Database, err error) {
 	qTabs := q.Tableaux()
 	var vTabs []*cq.Tableau
 	if v != nil {
@@ -630,7 +703,7 @@ func (cfg QPChecker) buildFragmentPool(q qlang.Query, dm *relation.Database, v *
 			if len(pool) >= cfg.MaxPool {
 				break
 			}
-			if err := enumerateInstantiations(u, q, v, dm, sub, schemas, addFragment); err != nil {
+			if err := enumerateInstantiations(u, q, v, dm, sub, schemas, gv, addFragment); err != nil {
 				return nil, nil, err
 			}
 		}
@@ -640,7 +713,7 @@ func (cfg QPChecker) buildFragmentPool(q qlang.Query, dm *relation.Database, v *
 		if len(pool) >= cfg.MaxPool {
 			break
 		}
-		if err := enumerateInstantiations(u, q, v, dm, t, schemas, addFragment); err != nil {
+		if err := enumerateInstantiations(u, q, v, dm, t, schemas, gv, addFragment); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -683,7 +756,7 @@ func subsetTableau(t *cq.Tableau, mask int) *cq.Tableau {
 // The exact search reductions (IND pruning, inert-variable collapsing
 // and relevant-value restriction) keep the pool focused on fragments
 // that can participate in a partially closed witness.
-func enumerateInstantiations(u *Universe, q qlang.Query, v *cc.Set, dm *relation.Database, t *cq.Tableau, schemas map[string]*relation.Schema, emit func(*relation.Database)) error {
+func enumerateInstantiations(u *Universe, q qlang.Query, v *cc.Set, dm *relation.Database, t *cq.Tableau, schemas map[string]*relation.Schema, gv *governor, emit func(*relation.Database)) error {
 	if t == nil {
 		return nil
 	}
@@ -694,6 +767,7 @@ func enumerateInstantiations(u *Universe, q qlang.Query, v *cc.Set, dm *relation
 	search.pruner = newINDPruner(t, v, dm)
 	search.applyCollapse(v)
 	search.applyRelevant(q, v, nil, dm)
+	search.gate = gv.gateOf()
 	return search.run(func(b query.Binding) bool {
 		db, err := t.Apply(b, schemas)
 		if err != nil {

@@ -63,6 +63,12 @@ type valuationSearch struct {
 	// valuations visited.
 	budget  int
 	visited int
+
+	// gate, when non-nil, is the check's governance gate: every search
+	// node polls it so cancellation and cross-cutting budgets (rows,
+	// tuples) stop the search promptly. Shared (atomics only) between
+	// the sequential engine and parallel branch workers.
+	gate *query.Gate
 }
 
 // newValuationSearch prepares a search over the tableau's variables.
@@ -101,6 +107,9 @@ func (s *valuationSearch) run(fn func(b query.Binding) bool) error {
 	b := make(query.Binding, len(vars))
 	var rec func(i, freshUsed int) error
 	rec = func(i, freshUsed int) error {
+		if err := s.gate.Poll(); err != nil {
+			return err
+		}
 		if i == len(vars) {
 			s.visited++
 			if s.budget > 0 && s.visited > s.budget {

@@ -203,5 +203,10 @@ func (q *EFOQuery) expandUCQ() *UCQ {
 // Eval evaluates the ∃FO⁺ query via its UCQ expansion.
 func (q *EFOQuery) Eval(d *relation.Database) []relation.Tuple { return q.ToUCQ().Eval(d) }
 
+// EvalGate evaluates the expansion under gate governance.
+func (q *EFOQuery) EvalGate(d *relation.Database, g *query.Gate) ([]relation.Tuple, error) {
+	return q.ToUCQ().EvalGate(d, g)
+}
+
 // EvalBool evaluates a Boolean ∃FO⁺ query.
 func (q *EFOQuery) EvalBool(d *relation.Database) bool { return q.ToUCQ().EvalBool(d) }

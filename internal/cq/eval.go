@@ -34,6 +34,19 @@ func (q *CQ) Eval(d *relation.Database) []relation.Tuple {
 	return t.Eval(d)
 }
 
+// EvalGate is Eval under gate governance: enumeration charges one
+// row-step per candidate tuple and stops with the gate's error as soon
+// as the budget trips or the context is cancelled. Answers computed
+// before the stop are discarded (a partial answer set is not a sound
+// answer set).
+func (q *CQ) EvalGate(d *relation.Database, g *query.Gate) ([]relation.Tuple, error) {
+	t, err := q.Compiled()
+	if err != nil {
+		return nil, nil // unsatisfiable queries have empty answers everywhere
+	}
+	return t.EvalGate(d, g)
+}
+
 // EvalBool evaluates a Boolean query.
 func (q *CQ) EvalBool(d *relation.Database) bool {
 	return len(q.Eval(d)) > 0
@@ -43,25 +56,41 @@ func (q *CQ) EvalBool(d *relation.Database) bool {
 // cost-based order with index lookups on bound columns; inequality
 // conditions are checked as soon as both sides are bound.
 func (t *Tableau) Eval(d *relation.Database) []relation.Tuple {
+	out, _ := t.EvalGate(d, nil)
+	return out
+}
+
+// EvalGate is Eval under gate governance (see CQ.EvalGate).
+func (t *Tableau) EvalGate(d *relation.Database, g *query.Gate) ([]relation.Tuple, error) {
 	results := make(map[string]relation.Tuple)
-	t.EvalFunc(d, func(b query.Binding) bool {
+	err := t.EvalFuncGate(d, g, func(b query.Binding) bool {
 		if h, ok := t.HeadTuple(b); ok {
 			results[h.Key()] = h
 		}
 		return true // keep enumerating
 	})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]relation.Tuple, 0, len(results))
 	for _, tup := range results {
 		out = append(out, tup)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	return out
+	return out, nil
 }
 
 // EvalFunc enumerates all satisfying bindings of the tableau over d,
 // invoking fn for each; enumeration stops early when fn returns false.
 // The binding passed to fn is reused between calls — clone it to keep.
 func (t *Tableau) EvalFunc(d *relation.Database, fn func(query.Binding) bool) {
+	t.EvalFuncGate(d, nil, fn)
+}
+
+// EvalFuncGate is EvalFunc under gate governance: each candidate tuple
+// enumerated by the join charges one row-step on g, and the first gate
+// error aborts enumeration and is returned. A nil gate is free.
+func (t *Tableau) EvalFuncGate(d *relation.Database, g *query.Gate, fn func(query.Binding) bool) error {
 	if len(t.Templates) == 0 {
 		// A query without relation atoms never arises from Validate'd
 		// input, but handle it as "true once" if diseqs hold on the
@@ -70,11 +99,83 @@ func (t *Tableau) EvalFunc(d *relation.Database, fn func(query.Binding) bool) {
 		if t.DiseqsHold(b) {
 			fn(b)
 		}
-		return
+		return nil
 	}
 	order := t.planOrder(d)
 	b := make(query.Binding, len(t.Vars))
-	t.join(d, order, 0, b, fn)
+	gs := gate(g)
+	t.join(d, order, 0, b, fn, gs)
+	return gs.finish()
+}
+
+// gateState threads a gate through the join recursion. The join's
+// boolean "continue" protocol cannot carry an error, so the first gate
+// error is parked here and the recursion unwinds through the ordinary
+// stop path. A nil *gateState (ungoverned evaluation) costs one nil
+// check per row.
+//
+// Row charges are batched: the per-evaluation pending counter (plain,
+// single-goroutine) absorbs the per-row cost and is flushed to the
+// shared gate every gateFlushRows rows and once more when enumeration
+// ends, so totals stay exact while the hot loop pays neither an atomic
+// increment nor a cancellation check per row. Cancellation and budget
+// stops are therefore detected within gateFlushRows row-steps.
+type gateState struct {
+	g       *query.Gate
+	err     error
+	pending int64
+}
+
+// gateFlushRows is the row-charge batching granularity: small enough
+// that a stop is near-immediate on human scales, large enough that the
+// shared atomic and the done-channel check vanish from per-row cost
+// (see BenchmarkEvalGateOverhead).
+const gateFlushRows = 64
+
+// gate wraps a Gate for the join recursion; nil stays nil so the
+// ungoverned path keeps its zero-cost contract.
+func gate(g *query.Gate) *gateState {
+	if g == nil {
+		return nil
+	}
+	return &gateState{g: g}
+}
+
+// step charges one row and reports whether enumeration may continue.
+func (gs *gateState) step() bool {
+	if gs == nil {
+		return true
+	}
+	gs.pending++
+	if gs.pending < gateFlushRows {
+		return true
+	}
+	return gs.flush()
+}
+
+// flush forwards the pending rows to the shared gate.
+func (gs *gateState) flush() bool {
+	err := gs.g.StepN(gs.pending)
+	gs.pending = 0
+	if err != nil {
+		if gs.err == nil {
+			gs.err = err
+		}
+		return false
+	}
+	return true
+}
+
+// finish flushes the remainder when enumeration ends and returns the
+// first gate error, if any. Nil-safe for the ungoverned path.
+func (gs *gateState) finish() error {
+	if gs == nil {
+		return nil
+	}
+	if gs.err == nil && gs.pending > 0 {
+		gs.flush()
+	}
+	return gs.err
 }
 
 // planOrder orders the templates for the join. With the indexed engine
@@ -217,7 +318,7 @@ func bestBoundArg(in *relation.Instance, atom query.RelAtom, b query.Binding) (i
 }
 
 // join recursively matches template order[k] against the database.
-func (t *Tableau) join(d *relation.Database, order []int, k int, b query.Binding, fn func(query.Binding) bool) bool {
+func (t *Tableau) join(d *relation.Database, order []int, k int, b query.Binding, fn func(query.Binding) bool, gs *gateState) bool {
 	if k == len(order) {
 		if !t.DiseqsHold(b) {
 			return true
@@ -230,6 +331,9 @@ func (t *Tableau) join(d *relation.Database, order []int, k int, b query.Binding
 		return true
 	}
 	for _, tup := range joinTuples(in, atom, b) {
+		if !gs.step() {
+			return false
+		}
 		newly := b.Match(atom, tup)
 		if newly == nil {
 			continue
@@ -243,7 +347,7 @@ func (t *Tableau) join(d *relation.Database, order []int, k int, b query.Binding
 		}
 		cont := true
 		if ok {
-			cont = t.join(d, order, k+1, b, fn)
+			cont = t.join(d, order, k+1, b, fn, gs)
 		}
 		for _, v := range newly {
 			delete(b, v)
@@ -265,22 +369,31 @@ func (t *Tableau) join(d *relation.Database, order []int, k int, b query.Binding
 // templates match delta tuples or a delta tuple already occurs in d).
 // fn returning false stops enumeration.
 func (t *Tableau) EvalFuncDelta(d, delta *relation.Database, fn func(query.Binding) bool) {
+	t.EvalFuncDeltaGate(d, delta, nil, fn)
+}
+
+// EvalFuncDeltaGate is EvalFuncDelta under gate governance: each
+// candidate tuple charges one row-step; the first gate error aborts
+// enumeration and is returned. A nil gate is free.
+func (t *Tableau) EvalFuncDeltaGate(d, delta *relation.Database, g *query.Gate, fn func(query.Binding) bool) error {
 	if len(t.Templates) == 0 {
-		return // no templates: answers cannot change
+		return nil // no templates: answers cannot change
 	}
+	gs := gate(g)
 	for j := range t.Templates {
 		b := make(query.Binding, len(t.Vars))
-		if !t.joinDelta(d, delta, j, b, fn) {
-			return
+		if !t.joinDelta(d, delta, j, b, fn, gs) {
+			break
 		}
 	}
+	return gs.finish()
 }
 
 // joinDelta is join with template deltaAt reading only from delta and
 // every other template reading the d/delta overlay. Template order is
 // positional (no planning): delta instances are typically tiny, so the
 // deltaAt template leads and binds its variables first.
-func (t *Tableau) joinDelta(d, delta *relation.Database, deltaAt int, b query.Binding, fn func(query.Binding) bool) bool {
+func (t *Tableau) joinDelta(d, delta *relation.Database, deltaAt int, b query.Binding, fn func(query.Binding) bool, gs *gateState) bool {
 	// Visit deltaAt first, then the others positionally.
 	idx := make([]int, 0, len(t.Templates))
 	idx = append(idx, deltaAt)
@@ -309,6 +422,9 @@ func (t *Tableau) joinDelta(d, delta *relation.Database, deltaAt int, b query.Bi
 				continue
 			}
 			for _, tup := range joinTuples(in, atom, b) {
+				if !gs.step() {
+					return false
+				}
 				newly := b.Match(atom, tup)
 				if newly == nil {
 					continue

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/query"
 	"repro/internal/relation"
 )
 
@@ -60,9 +61,19 @@ func (u *UCQ) Validate(schemas map[string]*relation.Schema) error {
 
 // Eval evaluates the union over the database.
 func (u *UCQ) Eval(d *relation.Database) []relation.Tuple {
+	out, _ := u.EvalGate(d, nil)
+	return out
+}
+
+// EvalGate evaluates the union under gate governance (see CQ.EvalGate).
+func (u *UCQ) EvalGate(d *relation.Database, g *query.Gate) ([]relation.Tuple, error) {
 	seen := make(map[string]relation.Tuple)
 	for _, q := range u.Disjuncts {
-		for _, t := range q.Eval(d) {
+		ts, err := q.EvalGate(d, g)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range ts {
 			seen[t.Key()] = t
 		}
 	}
@@ -71,7 +82,7 @@ func (u *UCQ) Eval(d *relation.Database) []relation.Tuple {
 		out = append(out, t)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	return out
+	return out, nil
 }
 
 // EvalBool evaluates a Boolean union.

@@ -188,7 +188,14 @@ func (p *Program) Validate(schemas map[string]*relation.Schema) error {
 // Eval computes the inflationary fixpoint over the database and returns
 // the output predicate's tuples in deterministic order.
 func (p *Program) Eval(d *relation.Database) ([]relation.Tuple, error) {
-	idb, err := p.EvalAll(d)
+	return p.EvalGate(d, nil)
+}
+
+// EvalGate is Eval under gate governance: each candidate tuple
+// enumerated by a rule body charges one row-step and the first gate
+// error aborts the fixpoint. A nil gate is free.
+func (p *Program) EvalGate(d *relation.Database, g *query.Gate) ([]relation.Tuple, error) {
+	idb, err := p.EvalAllGate(d, g)
 	if err != nil {
 		return nil, err
 	}
@@ -210,6 +217,11 @@ func (p *Program) EvalBool(d *relation.Database) (bool, error) {
 // EvalAll computes the fixpoint and returns every IDB predicate's
 // tuples, keyed by predicate, each a map from tuple key to tuple.
 func (p *Program) EvalAll(d *relation.Database) (map[string]map[string]relation.Tuple, error) {
+	return p.EvalAllGate(d, nil)
+}
+
+// EvalAllGate is EvalAll under gate governance (see EvalGate).
+func (p *Program) EvalAllGate(d *relation.Database, g *query.Gate) (map[string]map[string]relation.Tuple, error) {
 	idbAr, err := p.idbs()
 	if err != nil {
 		return nil, err
@@ -234,7 +246,7 @@ func (p *Program) EvalAll(d *relation.Database) (map[string]map[string]relation.
 		}
 		produced := false
 		for _, r := range p.Rules {
-			if err := fireRule(r, d, idb, delta, round, next); err != nil {
+			if err := fireRule(r, d, idb, delta, round, next, g); err != nil {
 				return nil, err
 			}
 		}
@@ -260,7 +272,7 @@ func (p *Program) EvalAll(d *relation.Database) (map[string]map[string]relation.
 // after the first, rules whose bodies contain IDB atoms only fire with
 // at least one atom matched against the delta (semi-naive restriction);
 // rules over pure EDB bodies fire in round one only.
-func fireRule(r Rule, d *relation.Database, idb, delta map[string]map[string]relation.Tuple, round int, next map[string]map[string]relation.Tuple) error {
+func fireRule(r Rule, d *relation.Database, idb, delta map[string]map[string]relation.Tuple, round int, next map[string]map[string]relation.Tuple, g *query.Gate) error {
 	// Identify IDB body atoms.
 	var idbPositions []int
 	for i, l := range r.Body {
@@ -349,6 +361,9 @@ func fireRule(r Rule, d *relation.Database, idb, delta map[string]map[string]rel
 			source = in.Tuples()
 		}
 		for _, tup := range source {
+			if err := g.Step(); err != nil {
+				return err
+			}
 			newly := b.Match(atom, tup)
 			if newly == nil {
 				continue

@@ -288,6 +288,16 @@ func (q *Query) domain(d *relation.Database, extra []relation.Value) []relation.
 // containment constraints pass the master data's values so that
 // quantifiers range over both databases' constants).
 func (q *Query) Eval(d *relation.Database, extra ...relation.Value) []relation.Tuple {
+	out, _ := q.EvalGate(d, nil, extra...)
+	return out
+}
+
+// EvalGate is Eval under gate governance. FO evaluation has no join
+// rows; the row-step unit here is one variable assignment tried by the
+// active-domain enumeration (top-level free variables and quantifiers
+// alike), so a cancelled context stops the search within one assignment.
+// Results computed before a trip are discarded.
+func (q *Query) EvalGate(d *relation.Database, g *query.Gate, extra ...relation.Value) ([]relation.Tuple, error) {
 	dom := q.domain(d, extra)
 	// Enumerate every free variable of the body (head variables are a
 	// subset of these for validated queries) and project onto the head.
@@ -300,10 +310,11 @@ func (q *Query) Eval(d *relation.Database, extra ...relation.Value) []relation.T
 	freeHead = query.SortedVarSet(freeHead)
 	results := make(map[string]relation.Tuple)
 	b := make(query.Binding)
+	ec := newEvalCtx(g)
 	var assign func(i int)
 	assign = func(i int) {
 		if i == len(freeHead) {
-			if eval(q.Body, d, dom, b) {
+			if eval(q.Body, d, dom, b, ec) {
 				out := make(relation.Tuple, len(q.Head))
 				for j, h := range q.Head {
 					v, _ := b.Resolve(h)
@@ -314,18 +325,24 @@ func (q *Query) Eval(d *relation.Database, extra ...relation.Value) []relation.T
 			return
 		}
 		for _, v := range dom {
+			if !ec.step() {
+				return
+			}
 			b[freeHead[i]] = v
 			assign(i + 1)
 		}
 		delete(b, freeHead[i])
 	}
 	assign(0)
+	if ec != nil && ec.err != nil {
+		return nil, ec.err
+	}
 	out := make([]relation.Tuple, 0, len(results))
 	for _, t := range results {
 		out = append(out, t)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	return out
+	return out, nil
 }
 
 // EvalBool evaluates a Boolean FO query (empty head).
@@ -333,8 +350,41 @@ func (q *Query) EvalBool(d *relation.Database, extra ...relation.Value) bool {
 	return len(q.Eval(d, extra...)) > 0
 }
 
+// evalCtx threads a gate through the boolean formula recursion. The
+// recursion cannot carry an error, so the first gate error is parked
+// here; once set, every loop bails out immediately and the top level
+// discards the (garbage) boolean and returns the error. A nil *evalCtx
+// is the ungoverned path.
+type evalCtx struct {
+	g   *query.Gate
+	err error
+}
+
+func newEvalCtx(g *query.Gate) *evalCtx {
+	if g == nil {
+		return nil
+	}
+	return &evalCtx{g: g}
+}
+
+// step charges one assignment and reports whether enumeration may
+// continue.
+func (ec *evalCtx) step() bool {
+	if ec == nil {
+		return true
+	}
+	if ec.err != nil {
+		return false
+	}
+	if err := ec.g.Step(); err != nil {
+		ec.err = err
+		return false
+	}
+	return true
+}
+
 // eval evaluates a formula under a binding of its free variables.
-func eval(f Formula, d *relation.Database, dom []relation.Value, b query.Binding) bool {
+func eval(f Formula, d *relation.Database, dom []relation.Value, b query.Binding, ec *evalCtx) bool {
 	switch f := f.(type) {
 	case Atom:
 		tup, ok := f.A.Ground(b)
@@ -349,15 +399,15 @@ func eval(f Formula, d *relation.Database, dom []relation.Value, b query.Binding
 		}
 		return holds
 	case Not:
-		return !eval(f.F, d, dom, b)
+		return !eval(f.F, d, dom, b, ec)
 	case And:
-		return eval(f.L, d, dom, b) && eval(f.R, d, dom, b)
+		return eval(f.L, d, dom, b, ec) && eval(f.R, d, dom, b, ec)
 	case Or:
-		return eval(f.L, d, dom, b) || eval(f.R, d, dom, b)
+		return eval(f.L, d, dom, b, ec) || eval(f.R, d, dom, b, ec)
 	case Exists:
-		return quantify(f.Vars, f.F, d, dom, b, false)
+		return quantify(f.Vars, f.F, d, dom, b, false, ec)
 	case Forall:
-		return quantify(f.Vars, f.F, d, dom, b, true)
+		return quantify(f.Vars, f.F, d, dom, b, true, ec)
 	default:
 		panic(fmt.Sprintf("fo: unknown node %T", f))
 	}
@@ -365,7 +415,7 @@ func eval(f Formula, d *relation.Database, dom []relation.Value, b query.Binding
 
 // quantify enumerates assignments for the quantified variables. For
 // universal quantification it searches for a falsifying assignment.
-func quantify(vars []string, f Formula, d *relation.Database, dom []relation.Value, b query.Binding, universal bool) bool {
+func quantify(vars []string, f Formula, d *relation.Database, dom []relation.Value, b query.Binding, universal bool, ec *evalCtx) bool {
 	// Save shadowed bindings to restore afterwards.
 	saved := make(map[string]relation.Value, len(vars))
 	for _, v := range vars {
@@ -385,9 +435,12 @@ func quantify(vars []string, f Formula, d *relation.Database, dom []relation.Val
 	var rec func(i int) bool
 	rec = func(i int) bool {
 		if i == len(vars) {
-			return eval(f, d, dom, b) != universal
+			return eval(f, d, dom, b, ec) != universal
 		}
 		for _, val := range dom {
+			if !ec.step() {
+				return false
+			}
 			b[vars[i]] = val
 			if rec(i + 1) {
 				return true

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cq"
 	"repro/internal/datalog"
 	"repro/internal/fo"
+	"repro/internal/query"
 	"repro/internal/relation"
 )
 
@@ -54,6 +55,13 @@ func (l Lang) Monotone() bool { return l == CQ || l == UCQ || l == EFO }
 type Query interface {
 	// Eval evaluates the query over a database.
 	Eval(d *relation.Database) ([]relation.Tuple, error)
+	// EvalGate evaluates the query under gate governance: evaluation
+	// charges row-steps on g and aborts with the gate's error on
+	// cancellation or budget exhaustion. A nil gate makes EvalGate
+	// equivalent to Eval. The step unit is language-dependent (join
+	// rows for CQ/UCQ/∃FO⁺/FP, variable assignments for FO); see
+	// DESIGN.md "Resource governance".
+	EvalGate(d *relation.Database, g *query.Gate) ([]relation.Tuple, error)
 	// Arity is the output arity.
 	Arity() int
 	// Lang is the query language.
@@ -96,9 +104,36 @@ func FromFO(q *fo.Query) Query { return &foQuery{q: q} }
 // FromFP wraps a datalog program.
 func FromFP(p *datalog.Program) Query { return &fpQuery{p: p} }
 
+// AsCQ unwraps q when it wraps a conjunctive query.
+func AsCQ(q Query) (*cq.CQ, bool) {
+	if w, ok := q.(*cqQuery); ok {
+		return w.q, true
+	}
+	return nil, false
+}
+
+// AsUCQ unwraps q when it wraps a union of conjunctive queries.
+func AsUCQ(q Query) (*cq.UCQ, bool) {
+	if w, ok := q.(*ucqQuery); ok {
+		return w.q, true
+	}
+	return nil, false
+}
+
+// AsFP unwraps q when it wraps a datalog program.
+func AsFP(q Query) (*datalog.Program, bool) {
+	if w, ok := q.(*fpQuery); ok {
+		return w.p, true
+	}
+	return nil, false
+}
+
 func (w *cqQuery) Eval(d *relation.Database) ([]relation.Tuple, error) { return w.q.Eval(d), nil }
-func (w *cqQuery) Arity() int                                          { return w.q.Arity() }
-func (w *cqQuery) Lang() Lang                                          { return CQ }
+func (w *cqQuery) EvalGate(d *relation.Database, g *query.Gate) ([]relation.Tuple, error) {
+	return w.q.EvalGate(d, g)
+}
+func (w *cqQuery) Arity() int { return w.q.Arity() }
+func (w *cqQuery) Lang() Lang { return CQ }
 func (w *cqQuery) Tableaux() []*cq.Tableau {
 	w.tabOnce.Do(func() {
 		if t, err := w.q.Compiled(); err == nil {
@@ -111,16 +146,22 @@ func (w *cqQuery) Constants() []relation.Value { return w.q.Constants() }
 func (w *cqQuery) String() string              { return w.q.String() }
 
 func (w *ucqQuery) Eval(d *relation.Database) ([]relation.Tuple, error) { return w.q.Eval(d), nil }
-func (w *ucqQuery) Arity() int                                          { return w.q.Arity() }
-func (w *ucqQuery) Lang() Lang                                          { return UCQ }
-func (w *ucqQuery) Tableaux() []*cq.Tableau                             { return w.q.Tableaux() }
-func (w *ucqQuery) Constants() []relation.Value                         { return w.q.Constants() }
-func (w *ucqQuery) String() string                                      { return w.q.String() }
+func (w *ucqQuery) EvalGate(d *relation.Database, g *query.Gate) ([]relation.Tuple, error) {
+	return w.q.EvalGate(d, g)
+}
+func (w *ucqQuery) Arity() int                  { return w.q.Arity() }
+func (w *ucqQuery) Lang() Lang                  { return UCQ }
+func (w *ucqQuery) Tableaux() []*cq.Tableau     { return w.q.Tableaux() }
+func (w *ucqQuery) Constants() []relation.Value { return w.q.Constants() }
+func (w *ucqQuery) String() string              { return w.q.String() }
 
 func (w *efoQuery) Eval(d *relation.Database) ([]relation.Tuple, error) {
 	// ToUCQ memoizes the DNF expansion on the EFOQuery itself (behind a
 	// sync.Once), so the wrapper needs no cache of its own.
 	return w.q.ToUCQ().Eval(d), nil
+}
+func (w *efoQuery) EvalGate(d *relation.Database, g *query.Gate) ([]relation.Tuple, error) {
+	return w.q.ToUCQ().EvalGate(d, g)
 }
 func (w *efoQuery) Arity() int                  { return w.q.Arity() }
 func (w *efoQuery) Lang() Lang                  { return EFO }
@@ -129,18 +170,24 @@ func (w *efoQuery) Constants() []relation.Value { return w.q.ToUCQ().Constants()
 func (w *efoQuery) String() string              { return w.q.String() }
 
 func (w *foQuery) Eval(d *relation.Database) ([]relation.Tuple, error) { return w.q.Eval(d), nil }
-func (w *foQuery) Arity() int                                          { return w.q.Arity() }
-func (w *foQuery) Lang() Lang                                          { return FO }
-func (w *foQuery) Tableaux() []*cq.Tableau                             { return nil }
-func (w *foQuery) Constants() []relation.Value                         { return w.q.Constants() }
-func (w *foQuery) String() string                                      { return w.q.String() }
+func (w *foQuery) EvalGate(d *relation.Database, g *query.Gate) ([]relation.Tuple, error) {
+	return w.q.EvalGate(d, g)
+}
+func (w *foQuery) Arity() int                  { return w.q.Arity() }
+func (w *foQuery) Lang() Lang                  { return FO }
+func (w *foQuery) Tableaux() []*cq.Tableau     { return nil }
+func (w *foQuery) Constants() []relation.Value { return w.q.Constants() }
+func (w *foQuery) String() string              { return w.q.String() }
 
 func (w *fpQuery) Eval(d *relation.Database) ([]relation.Tuple, error) { return w.p.Eval(d) }
-func (w *fpQuery) Arity() int                                          { return w.p.OutputArity() }
-func (w *fpQuery) Lang() Lang                                          { return FP }
-func (w *fpQuery) Tableaux() []*cq.Tableau                             { return nil }
-func (w *fpQuery) Constants() []relation.Value                         { return w.p.Constants() }
-func (w *fpQuery) String() string                                      { return w.p.String() }
+func (w *fpQuery) EvalGate(d *relation.Database, g *query.Gate) ([]relation.Tuple, error) {
+	return w.p.EvalGate(d, g)
+}
+func (w *fpQuery) Arity() int                  { return w.p.OutputArity() }
+func (w *fpQuery) Lang() Lang                  { return FP }
+func (w *fpQuery) Tableaux() []*cq.Tableau     { return nil }
+func (w *fpQuery) Constants() []relation.Value { return w.p.Constants() }
+func (w *fpQuery) String() string              { return w.p.String() }
 
 // Underlying returns the wrapped concrete query object (a *cq.CQ,
 // *cq.UCQ, *cq.EFOQuery, *fo.Query or *datalog.Program).

@@ -1,6 +1,7 @@
 package reductions
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/automata"
@@ -130,9 +131,23 @@ func addHeadConds(body *[]datalog.Literal, in automata.Symbol, move automata.Mov
 // relational encoding of w, which must coincide with A accepting w —
 // the executable content of the Theorem 3.1(3) simulation.
 func DFAQueryAcceptsEncoding(a *automata.DFA, w []automata.Symbol) (bool, error) {
+	return DFAQueryAcceptsEncodingCtx(context.Background(), a, w)
+}
+
+// DFAQueryAcceptsEncodingCtx is DFAQueryAcceptsEncoding under context
+// governance: the fixpoint simulation stops within one rule-body row of
+// ctx being cancelled. The bounded simulators are where undecidable
+// instances (Theorem 3.1) can genuinely diverge, so this is the entry
+// point interactive callers should use.
+func DFAQueryAcceptsEncodingCtx(ctx context.Context, a *automata.DFA, w []automata.Symbol) (bool, error) {
 	prog, err := DFAProgram(a)
 	if err != nil {
 		return false, err
 	}
-	return prog.EvalBool(automata.EncodeString(w))
+	var g *query.Gate
+	if ctx != nil && ctx.Done() != nil {
+		g = query.NewGate(ctx, 0, 0)
+	}
+	ts, err := prog.EvalGate(automata.EncodeString(w), g)
+	return len(ts) > 0, err
 }
