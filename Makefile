@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-smoke bench-workers fmt-check vuln fuzz-smoke cover-check
+.PHONY: ci build vet test race bench bench-smoke bench-workers fmt-check vuln fuzz-smoke cover-check doc-sync examples-build
 
-ci: vet build test race bench-smoke cover-check fuzz-smoke vuln
+ci: fmt-check vet build examples-build test race bench-smoke cover-check doc-sync fuzz-smoke vuln
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,25 @@ bench-workers:
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Every example program must keep compiling (go build ./... covers them
+# too, but a dedicated target makes the failure unambiguous in CI logs).
+examples-build:
+	$(GO) build ./examples/...
+
+# Doc/CLI sync: every flag defined in the commands must be documented
+# in README.md. Catches flags added without a docs pass.
+doc-sync:
+	@set -e; missing=0; \
+	flags=$$(grep -hoE 'flag\.[A-Za-z0-9]+\((&[A-Za-z0-9]+, )?"[a-z-]+"' cmd/*/main.go \
+		| grep -oE '"[a-z-]+"' | tr -d '"' | sort -u); \
+	for f in $$flags; do \
+		if ! grep -q -- "-$$f" README.md; then \
+			echo "doc-sync: flag -$$f is not documented in README.md"; missing=1; \
+		fi; \
+	done; \
+	if [ "$$missing" != 0 ]; then exit 1; fi; \
+	echo "doc-sync: all $$(echo "$$flags" | wc -w) CLI flags documented in README.md"
 
 # Known-vulnerability scan. Skipped with a notice when govulncheck is
 # not on PATH (the CI image has no network to install it); when present

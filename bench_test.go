@@ -26,6 +26,7 @@ import (
 	"repro/internal/cq"
 	"repro/internal/datalog"
 	"repro/internal/mdm"
+	"repro/internal/obs"
 	"repro/internal/qlang"
 	"repro/internal/query"
 	"repro/internal/reductions"
@@ -457,6 +458,43 @@ func BenchmarkEvalGateOverhead(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := q.EvalGate(s.D, g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkObsOverhead measures the instrumentation tax of the obs
+// metrics layer: the same workloads with collection enabled (the
+// default) and disabled (obs.SetEnabled(false) turns every counter
+// flush into a no-op, leaving only the dead branch). The acceptance
+// target is ≤ 5% on both the raw CQ evaluation hot path and a full
+// RCDP check; per-row costs are stack-local (see internal/obs), so the
+// difference is a handful of atomic adds per evaluation.
+func BenchmarkObsOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"enabled", true}, {"disabled", false}} {
+		b.Run("eval/"+mode.name, func(b *testing.B) {
+			s, _ := crmScenario(500)
+			q := qlang.Underlying(mdm.Q0("908")).(*cq.CQ)
+			defer obs.SetEnabled(obs.SetEnabled(mode.on))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Eval(s.D)
+			}
+		})
+		b.Run("rcdp/"+mode.name, func(b *testing.B) {
+			s, v := crmScenario(200)
+			q := mdm.Q0("908")
+			defer obs.SetEnabled(obs.SetEnabled(mode.on))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RCDP(q, s.D, s.Dm, v); err != nil {
 					b.Fatal(err)
 				}
 			}

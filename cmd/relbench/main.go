@@ -8,11 +8,14 @@
 //
 // Usage: relbench [-table 0|1|2] [-quick] [-workers N] [-json] [-noindex]
 //
-//	[-timeout D] [-steps N]
+//	[-timeout D] [-steps N] [-metrics addr] [-trace file]
 //
 // -timeout and -steps govern every timed check (wall-clock deadline and
 // join-row step budget respectively); a check stopped by governance
 // reports verdict "unknown" with the exhausted dimension as its reason.
+// -metrics serves the repro/internal/obs endpoint (Prometheus text,
+// expvar, pprof) while the sweeps run; -trace streams JSONL search
+// events to a file.
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"repro/internal/cq"
 	"repro/internal/fo"
 	"repro/internal/mdm"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/reductions"
 	"repro/internal/sat"
@@ -91,9 +95,34 @@ func main() {
 	workers := flag.Int("workers", 0, "valuation-search workers (0 = GOMAXPROCS, 1 = sequential)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per governed check (0 = unlimited)")
 	steps := flag.Int64("steps", 0, "join-row step budget per governed check (0 = unlimited)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
+	tracePath := flag.String("trace", "", "append JSONL search-trace events to this file")
 	flag.BoolVar(&jsonMode, "json", false, "emit timed sweep results as JSON instead of tables")
 	flag.BoolVar(&noIndex, "noindex", false, "disable the indexed join engine (ablation baseline)")
 	flag.Parse()
+	if *metricsAddr != "" {
+		addr, err := obs.Serve(*metricsAddr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "relbench: metrics on http://%s/metrics\n", addr)
+	}
+	if *tracePath != "" {
+		f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		tr := obs.NewTracer(f)
+		tr.Timings = true
+		obs.SetTracer(tr)
+		defer func() {
+			obs.SetTracer(nil)
+			if err := tr.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "relbench: -trace:", err)
+			}
+		}()
+	}
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}

@@ -9,13 +9,18 @@
 //	relcheck -schemas r.schema -master-schemas rm.schema \
 //	         -db d.facts -master dm.facts \
 //	         -constraints v.cc -query q.cq [-mode rcdp|rcqp|both]
-//	         [-timeout D] [-steps N]
+//	         [-timeout D] [-steps N] [-metrics addr] [-trace file]
 //
 // All files use the textq format (see package repro/internal/textq).
 // -timeout and -steps bound the decision procedures (wall clock and
 // join-row steps); a governed stop prints an UNKNOWN verdict naming the
 // exhausted dimension instead of running unboundedly — the Σ₂ᵖ/Σ₃ᵖ
 // lower bounds mean no useful completion deadline can be promised.
+//
+// -metrics serves the observability endpoint of package
+// repro/internal/obs (Prometheus text at /metrics, expvar JSON at
+// /debug/vars, pprof under /debug/pprof/) for the lifetime of the
+// process; -trace streams structured JSONL search events to a file.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/qlang"
 	"repro/internal/relation"
 	"repro/internal/textq"
@@ -44,8 +50,35 @@ func main() {
 		verbose       = flag.Bool("v", false, "print inputs before deciding")
 		timeout       = flag.Duration("timeout", 0, "wall-clock budget per check (0 = unlimited)")
 		steps         = flag.Int64("steps", 0, "join-row step budget per check (0 = unlimited)")
+		metricsAddr   = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
+		tracePath     = flag.String("trace", "", "append JSONL search-trace events to this file")
 	)
 	flag.Parse()
+	if *metricsAddr != "" {
+		addr, err := obs.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "relcheck: -metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "relcheck: metrics on http://%s/metrics\n", addr)
+	}
+	if *tracePath != "" {
+		f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "relcheck: -trace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tr := obs.NewTracer(f)
+		tr.Timings = true
+		obs.SetTracer(tr)
+		defer func() {
+			obs.SetTracer(nil)
+			if err := tr.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "relcheck: -trace:", err)
+			}
+		}()
+	}
 	budget := core.Budget{Timeout: *timeout, MaxJoinRows: *steps}
 	if err := run(*schemasPath, *mSchemasPath, *dbPath, *masterPath, *constraintsPp, *queryPath, *mode, *verbose, budget); err != nil {
 		fmt.Fprintln(os.Stderr, "relcheck:", err)

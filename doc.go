@@ -7,7 +7,21 @@
 // complete information to answer a query (RCDP), and whether any
 // complete database exists for a query at all (RCQP), for the query and
 // constraint languages studied in the paper (CQ, UCQ, ∃FO⁺, FO, FP and
-// inclusion dependencies). See README.md for the architecture,
-// DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction of the paper's complexity tables.
+// inclusion dependencies).
+//
+// The decision procedures live in internal/core. Ungoverned entry
+// points (core.RCDP, core.RCQP) run to completion; the governed
+// Checker.RCDPCtx / RCQPCtx variants take a context and a resource
+// Budget and return a three-valued Verdict (complete / incomplete /
+// unknown) together with the Reason a budget dimension was exhausted
+// and the BudgetStats consumed. The undecidable FO/FP rows get bounded
+// semi-decision procedures (core.BoundedRCDPCtx, core.BoundedRCQPCtx).
+//
+// All engines report into internal/obs, a zero-dependency metrics
+// registry and JSONL search tracer surfaced by the relcheck and
+// relbench commands through their -metrics and -trace flags.
+//
+// See README.md for the architecture and CLI usage, DESIGN.md for the
+// system inventory (including the observability design) and
+// EXPERIMENTS.md for the reproduction of the paper's complexity tables.
 package repro

@@ -20,6 +20,7 @@ import (
 	"repro/internal/cq"
 	"repro/internal/datalog"
 	"repro/internal/fo"
+	"repro/internal/obs"
 	"repro/internal/qlang"
 	"repro/internal/query"
 	"repro/internal/relation"
@@ -128,7 +129,12 @@ func (c *Constraint) masterSide(dm *relation.Database) map[string]bool {
 		gen = in.Generation()
 	}
 	if p := c.pcache.Load(); p != nil && p.inst == in && p.gen == gen {
+		obs.PDmHits.Inc()
 		return p.rhs
+	}
+	obs.PDmMisses.Inc()
+	if obs.Tracing() {
+		obs.Emit("pdm_build", map[string]any{"constraint": c.Name, "rel": c.P.Rel})
 	}
 	rhs := c.P.Eval(dm)
 	c.pcache.Store(&projCache{inst: in, gen: gen, rhs: rhs})

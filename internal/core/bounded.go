@@ -107,13 +107,17 @@ func BoundedRCDP(q qlang.Query, d, dm *relation.Database, v *cc.Set, opts Bounde
 // Reason and the resources consumed.
 func BoundedRCDPCtx(ctx context.Context, q qlang.Query, d, dm *relation.Database, v *cc.Set, opts BoundedOpts) (*BoundedRCDPResult, error) {
 	o := opts.withDefaults()
+	co := startCheck("bounded-rcdp", o.Workers)
 	gv := newGovernor(ctx, o.Budget)
 	defer gv.close()
 	res, err := boundedRCDPGov(q, d, dm, v, o, gv.gateOf())
 	if err != nil {
 		if r := reasonOf(err); r != ReasonNone {
-			return &BoundedRCDPResult{Verdict: VerdictUnknown, Reason: r, Stats: gv.stats(0), MaxAdd: o.MaxAdd}, nil
+			out := &BoundedRCDPResult{Verdict: VerdictUnknown, Reason: r, Stats: gv.stats(0), MaxAdd: o.MaxAdd}
+			co.done("unknown", r, out.Stats)
+			return out, nil
 		}
+		co.done("error", ReasonNone, gv.stats(0))
 		return nil, err
 	}
 	if res.Incomplete {
@@ -122,6 +126,7 @@ func BoundedRCDPCtx(ctx context.Context, q qlang.Query, d, dm *relation.Database
 		res.Verdict = VerdictComplete
 	}
 	res.Stats = gv.stats(res.Explored)
+	co.done(res.Verdict.String(), ReasonNone, res.Stats)
 	return res, nil
 }
 
@@ -460,13 +465,17 @@ func BoundedRCQP(q qlang.Query, dm *relation.Database, v *cc.Set, schemas map[st
 // RCQP's per-candidate valuation-budget semantics.
 func BoundedRCQPCtx(ctx context.Context, q qlang.Query, dm *relation.Database, v *cc.Set, schemas map[string]*relation.Schema, maxTuples int, opts BoundedOpts) (*BoundedRCQPResult, error) {
 	o := opts.withDefaults()
+	co := startCheck("bounded-rcqp", o.Workers)
 	gv := newGovernor(ctx, o.Budget)
 	defer gv.close()
 	res, err := boundedRCQPGov(q, dm, v, schemas, maxTuples, o, gv.gateOf())
 	if err != nil {
 		if r := reasonOf(err); r != ReasonNone {
-			return &BoundedRCQPResult{Verdict: VerdictUnknown, Reason: r, Stats: gv.stats(0)}, nil
+			out := &BoundedRCQPResult{Verdict: VerdictUnknown, Reason: r, Stats: gv.stats(0)}
+			co.done("unknown", r, out.Stats)
+			return out, nil
 		}
+		co.done("error", ReasonNone, gv.stats(0))
 		return nil, err
 	}
 	if res.Found {
@@ -475,6 +484,7 @@ func BoundedRCQPCtx(ctx context.Context, q qlang.Query, dm *relation.Database, v
 		res.Verdict = VerdictIncomplete
 	}
 	res.Stats = gv.stats(res.Explored)
+	co.done(res.Verdict.String(), ReasonNone, res.Stats)
 	return res, nil
 }
 

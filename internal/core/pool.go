@@ -4,6 +4,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // workerPool bounds the number of goroutines a (possibly nested) family
@@ -49,14 +52,29 @@ func (p *workerPool) run(tasks []func()) {
 		}
 		return
 	}
+	if obs.Tracing() {
+		obs.Emit("pool_run", map[string]any{"tasks": len(tasks)})
+	}
 	var next atomic.Int64
 	work := func() {
+		// Each participating goroutine — helper or caller — counts as one
+		// busy worker while it drains tasks. Task timing is charged in one
+		// atomic add per task, and skipped entirely when obs is disabled.
+		obs.PoolWorkers.Add(1)
+		defer obs.PoolWorkers.Add(-1)
 		for {
 			i := int(next.Add(1) - 1)
 			if i >= len(tasks) {
 				return
 			}
-			tasks[i]()
+			if obs.Enabled() {
+				start := time.Now()
+				tasks[i]()
+				obs.PoolBusyNS.Add(time.Since(start).Nanoseconds())
+				obs.PoolTasks.Inc()
+			} else {
+				tasks[i]()
+			}
 		}
 	}
 	var wg sync.WaitGroup

@@ -129,13 +129,17 @@ func (ck *Checker) RCDP(q qlang.Query, d, dm *relation.Database, v *cc.Set) (*RC
 // Workers=N; near the boundary the parallel engine's speculative work
 // can tip a run to either side (see DESIGN.md "Resource governance").
 func (ck *Checker) RCDPCtx(ctx context.Context, q qlang.Query, d, dm *relation.Database, v *cc.Set) (*RCDPResult, error) {
+	co := startCheck("rcdp", ck.effectiveWorkers())
 	gv := newGovernor(ctx, ck.Budget)
 	defer gv.close()
 	res, err := ck.rcdp(q, d, dm, v, nil, gv)
 	if err != nil {
 		if r := reasonOf(err); r != ReasonNone {
-			return &RCDPResult{Verdict: VerdictUnknown, Reason: r, Stats: gv.stats(0)}, nil
+			out := &RCDPResult{Verdict: VerdictUnknown, Reason: r, Stats: gv.stats(0)}
+			co.done("unknown", r, out.Stats)
+			return out, nil
 		}
+		co.done("error", ReasonNone, gv.stats(0))
 		return nil, err
 	}
 	if res.Complete {
@@ -144,6 +148,7 @@ func (ck *Checker) RCDPCtx(ctx context.Context, q qlang.Query, d, dm *relation.D
 		res.Verdict = VerdictIncomplete
 	}
 	res.Stats = gv.stats(res.Valuations)
+	co.done(res.Verdict.String(), ReasonNone, res.Stats)
 	return res, nil
 }
 
@@ -239,6 +244,7 @@ func (ck *Checker) rcdp(q qlang.Query, d, dm *relation.Database, v *cc.Set, pool
 			return false
 		})
 		res.Valuations += search.visited
+		noteDisjunct(di, search.visited, found != nil)
 		if cbErr != nil {
 			return nil, cbErr
 		}
@@ -333,6 +339,15 @@ func (ck *Checker) rcdpParallel(pool *workerPool, tableaux []*cq.Tableau, search
 		}
 	}
 	val, key, err := ctl.result()
+	witnessDisjunct := -1
+	if err == nil && key != noKey && val != nil {
+		witnessDisjunct = val.(*RCDPResult).Disjunct
+	}
+	for di, bud := range budgets {
+		if bud != nil {
+			noteDisjunct(di, bud.count(), di == witnessDisjunct)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -138,6 +138,7 @@ func (ck *QPChecker) RCQPCtx(ctx context.Context, q qlang.Query, dm *relation.Da
 		return nil, fmt.Errorf("core: RCQP is undecidable for L_C = %v (Theorem 4.1); use BoundedRCQP", v.MaxLang())
 	}
 	cfg := ck.withDefaults()
+	co := startCheck("rcqp", cfg.Checker.effectiveWorkers())
 	gv := newGovernor(ctx, cfg.Checker.Budget)
 	defer gv.close()
 	// One pool shared by every parallel search this call triggers: the
@@ -157,11 +158,15 @@ func (ck *QPChecker) RCQPCtx(ctx context.Context, q qlang.Query, dm *relation.Da
 			// A global governance stop (cancel, deadline, rows, tuples).
 			// Per-candidate valuation budgets never surface here — they
 			// skip the candidate inside the certificate search.
-			return &RCQPResult{Status: Unknown, Method: "budget", Reason: r, Stats: gv.stats(0)}, nil
+			out := &RCQPResult{Status: Unknown, Method: "budget", Reason: r, Stats: gv.stats(0)}
+			co.done("unknown", r, out.Stats)
+			return out, nil
 		}
+		co.done("error", ReasonNone, gv.stats(0))
 		return nil, err
 	}
 	res.Stats = gv.stats(0)
+	co.done(res.Status.String(), ReasonNone, res.Stats)
 	return res, nil
 }
 

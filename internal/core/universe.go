@@ -21,6 +21,22 @@
 //   - The undecidable rows of Tables I and II (FO/FP) get bounded
 //     semi-decision procedures that are sound for "incomplete" and
 //     report completeness only up to an explicit bound.
+//
+// Two engine families are exposed. The plain entry points (RCDP, RCQP,
+// BoundedRCDP) run to completion and return booleans. The governed
+// entry points (Checker.RCDPCtx, RCQPCtx, BoundedRCDPCtx,
+// BoundedRCQPCtx) accept a context and a Budget, stop the search the
+// moment a resource cap trips, and answer with a three-valued Verdict
+// plus the exhausted-dimension Reason and the BudgetStats actually
+// consumed — unknown is an answer, not an error. Checker.Workers
+// selects between the strictly sequential engine (Workers=1) and the
+// deterministic parallel engine, which returns scheduling-independent
+// verdicts and witnesses.
+//
+// Every check reports into the internal/obs registry (check counts,
+// verdict and exhaustion vectors, a latency histogram, valuation
+// counters) and, when a tracer is installed, emits per-check and
+// per-disjunct JSONL events; see the relcheck -metrics/-trace flags.
 package core
 
 import (

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/relation"
 )
@@ -43,6 +44,7 @@ type CQ struct {
 // The query must not be structurally mutated after its first
 // evaluation; Clone/Rename return fresh, uncompiled copies for that.
 func (q *CQ) Compiled() (*Tableau, error) {
+	obs.CompiledLookups.Inc()
 	q.compileOnce.Do(func() { q.compiled, q.compileErr = BuildTableau(q) })
 	return q.compiled, q.compileErr
 }

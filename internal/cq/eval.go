@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/relation"
 )
@@ -104,8 +105,30 @@ func (t *Tableau) EvalFuncGate(d *relation.Database, g *query.Gate, fn func(quer
 	order := t.planOrder(d)
 	b := make(query.Binding, len(t.Vars))
 	gs := gate(g)
-	t.join(d, order, 0, b, fn, gs)
+	var es evalStats
+	t.join(d, order, 0, b, fn, gs, &es)
+	es.flush()
 	return gs.finish()
+}
+
+// evalStats accumulates one enumeration's observability counts in
+// plain stack-local integers — the same batching discipline as
+// gateState: the hot join loop pays a non-atomic increment per row,
+// and the shared obs counters are charged once when the enumeration
+// ends, keeping the instrumented path within noise of the
+// uninstrumented one (BenchmarkObsOverhead).
+type evalStats struct {
+	rows   int64 // candidate join rows enumerated
+	probes int64 // join steps answered from a column index
+	scans  int64 // join steps answered by a full instance scan
+}
+
+// flush charges the accumulated counts to the process-global metrics.
+func (es *evalStats) flush() {
+	obs.Evals.Inc()
+	obs.JoinRows.Add(es.rows)
+	obs.IndexProbes.Add(es.probes)
+	obs.FullScans.Add(es.scans)
 }
 
 // gateState threads a gate through the join recursion. The join's
@@ -283,12 +306,15 @@ func (t *Tableau) planOrderGreedy() []int {
 // full deterministic scan. Index buckets are sorted subsequences of the
 // full scan, so candidate enumeration order — and hence every
 // enumeration-order-sensitive observation downstream — is unchanged.
-func joinTuples(in *relation.Instance, atom query.RelAtom, b query.Binding) []relation.Tuple {
+// Probe-vs-scan decisions accumulate into es.
+func joinTuples(in *relation.Instance, atom query.RelAtom, b query.Binding, es *evalStats) []relation.Tuple {
 	if IndexJoinEnabled() {
 		if col, val, ok := bestBoundArg(in, atom, b); ok {
+			es.probes++
 			return in.Lookup(col, val)
 		}
 	}
+	es.scans++
 	return in.Tuples()
 }
 
@@ -318,7 +344,7 @@ func bestBoundArg(in *relation.Instance, atom query.RelAtom, b query.Binding) (i
 }
 
 // join recursively matches template order[k] against the database.
-func (t *Tableau) join(d *relation.Database, order []int, k int, b query.Binding, fn func(query.Binding) bool, gs *gateState) bool {
+func (t *Tableau) join(d *relation.Database, order []int, k int, b query.Binding, fn func(query.Binding) bool, gs *gateState, es *evalStats) bool {
 	if k == len(order) {
 		if !t.DiseqsHold(b) {
 			return true
@@ -330,7 +356,8 @@ func (t *Tableau) join(d *relation.Database, order []int, k int, b query.Binding
 	if in == nil {
 		return true
 	}
-	for _, tup := range joinTuples(in, atom, b) {
+	for _, tup := range joinTuples(in, atom, b, es) {
+		es.rows++
 		if !gs.step() {
 			return false
 		}
@@ -347,7 +374,7 @@ func (t *Tableau) join(d *relation.Database, order []int, k int, b query.Binding
 		}
 		cont := true
 		if ok {
-			cont = t.join(d, order, k+1, b, fn, gs)
+			cont = t.join(d, order, k+1, b, fn, gs, es)
 		}
 		for _, v := range newly {
 			delete(b, v)
@@ -380,12 +407,14 @@ func (t *Tableau) EvalFuncDeltaGate(d, delta *relation.Database, g *query.Gate, 
 		return nil // no templates: answers cannot change
 	}
 	gs := gate(g)
+	var es evalStats
 	for j := range t.Templates {
 		b := make(query.Binding, len(t.Vars))
-		if !t.joinDelta(d, delta, j, b, fn, gs) {
+		if !t.joinDelta(d, delta, j, b, fn, gs, &es) {
 			break
 		}
 	}
+	es.flush()
 	return gs.finish()
 }
 
@@ -393,7 +422,7 @@ func (t *Tableau) EvalFuncDeltaGate(d, delta *relation.Database, g *query.Gate, 
 // every other template reading the d/delta overlay. Template order is
 // positional (no planning): delta instances are typically tiny, so the
 // deltaAt template leads and binds its variables first.
-func (t *Tableau) joinDelta(d, delta *relation.Database, deltaAt int, b query.Binding, fn func(query.Binding) bool, gs *gateState) bool {
+func (t *Tableau) joinDelta(d, delta *relation.Database, deltaAt int, b query.Binding, fn func(query.Binding) bool, gs *gateState, es *evalStats) bool {
 	// Visit deltaAt first, then the others positionally.
 	idx := make([]int, 0, len(t.Templates))
 	idx = append(idx, deltaAt)
@@ -421,7 +450,8 @@ func (t *Tableau) joinDelta(d, delta *relation.Database, deltaAt int, b query.Bi
 			if in == nil {
 				continue
 			}
-			for _, tup := range joinTuples(in, atom, b) {
+			for _, tup := range joinTuples(in, atom, b, es) {
+				es.rows++
 				if !gs.step() {
 					return false
 				}

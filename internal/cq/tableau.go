@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/relation"
 )
@@ -117,6 +118,10 @@ func (u *unionFind) resolve(t query.Term) query.Term {
 // constant).
 func BuildTableau(q *CQ) (*Tableau, error) {
 	tableauBuilds.Add(1)
+	obs.TableauBuilds.Inc()
+	if obs.Tracing() {
+		obs.Emit("tableau_build", map[string]any{"query": q.Name})
+	}
 	uf := newUnionFind()
 	for _, c := range q.Conds {
 		if c.Neg {

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+)
+
+// publishOnce guards the expvar publication of the Default registry:
+// expvar.Publish panics on duplicate names, and Handler may be called
+// more than once (tests, multiple servers).
+var publishOnce sync.Once
+
+// Handler returns the observability HTTP surface:
+//
+//	/metrics            Prometheus text exposition of the Default registry
+//	/debug/vars         expvar JSON (registry snapshot under "relcomp",
+//	                    plus the standard cmdline/memstats)
+//	/debug/pprof/...    net/http/pprof profiles
+//
+// The handler is stateless; the registry is read at request time, so a
+// long-running check shows live counters.
+func Handler() http.Handler {
+	publishOnce.Do(func() {
+		expvar.Publish("relcomp", expvar.Func(func() any { return Default.Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		var b strings.Builder
+		Default.WritePrometheus(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(b.String()))
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the observability endpoint on addr in a background
+// goroutine and returns the bound address (useful with ":0"). The
+// server runs until the process exits — the CLIs expose it for the
+// duration of a check.
+func Serve(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), nil
+}

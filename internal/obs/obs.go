@@ -1,0 +1,126 @@
+// Package obs is the zero-dependency observability layer of the
+// completeness engines: a concurrent metrics registry (atomic counters,
+// gauges and bucketed latency histograms), a lightweight structured
+// tracer emitting JSONL events, and an HTTP exposition surface
+// (Prometheus text format, expvar JSON and net/http/pprof).
+//
+// # Design
+//
+// The engine packages (core, cq, cc, query, relation) charge a fixed
+// set of process-global metrics declared below. Hot loops never touch
+// an atomic per event: they accumulate into stack-local counters and
+// flush once per evaluation, mirroring the gateState batching of the
+// cq join engine, so the instrumented path stays within measurement
+// noise of the uninstrumented one (see BenchmarkObsOverhead and the
+// EXPERIMENTS.md instrumentation-overhead series). SetEnabled(false)
+// turns every flush into a no-op for ablation benchmarks.
+//
+// Tracing is opt-in: SetTracer installs a process-global tracer and
+// engines emit coarse-grained events (check lifecycle, per-disjunct
+// search summaries, cache builds, gate trips) only while one is
+// installed; Tracing() is a single atomic load, so the disabled path
+// costs nothing. See trace.go for the event schema.
+//
+// The exposition surface is wired by Handler/Serve: the relcheck and
+// relbench CLIs expose it behind their -metrics flag, and
+// core.BudgetStats consumers read the same counters through the
+// registry snapshot.
+package obs
+
+import "sync/atomic"
+
+// enabled gates every metric write; default on. Disabling exists for
+// the instrumented-vs-uninstrumented overhead ablation, not for
+// production use — the whole design keeps the enabled path free enough
+// to leave on.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled toggles metric collection process-wide and returns the
+// previous setting, so callers can restore it:
+// defer obs.SetEnabled(obs.SetEnabled(false)).
+func SetEnabled(on bool) bool { return enabled.Swap(on) }
+
+// Enabled reports whether metric collection is on.
+func Enabled() bool { return enabled.Load() }
+
+// Default is the process-global registry all engine metrics live in.
+// The HTTP handler and the expvar snapshot read it; tests may create
+// private registries with NewRegistry.
+var Default = NewRegistry()
+
+// The engine metric set. Every instrumented package charges these
+// process-global instruments; they are declared centrally so the
+// exposition names stay consistent and greppable.
+var (
+	// Evals counts completed tableau evaluations (cq.Tableau.EvalFuncGate
+	// and EvalFuncDeltaGate enumerations).
+	Evals = NewCounter("relcomp_cq_evals_total",
+		"completed tableau join enumerations")
+	// JoinRows counts candidate join rows enumerated by the cq join
+	// engine (the same unit the row-step budget charges).
+	JoinRows = NewCounter("relcomp_cq_join_rows_total",
+		"candidate join rows enumerated")
+	// IndexProbes counts join steps answered from a column hash index.
+	IndexProbes = NewCounter("relcomp_cq_index_probes_total",
+		"join steps answered by an index bucket lookup")
+	// FullScans counts join steps that fell back to a full instance scan.
+	FullScans = NewCounter("relcomp_cq_full_scans_total",
+		"join steps answered by a full instance scan")
+	// TableauBuilds counts tableau compilations (compiled-query cache
+	// misses plus direct BuildTableau calls).
+	TableauBuilds = NewCounter("relcomp_cq_tableau_builds_total",
+		"tableau compilations (compiled-query cache misses)")
+	// CompiledLookups counts compiled-query cache lookups; hits are
+	// CompiledLookups - TableauBuilds (up to direct BuildTableau calls).
+	CompiledLookups = NewCounter("relcomp_cq_compiled_lookups_total",
+		"compiled-query cache lookups")
+	// PDmHits counts master-side projection p(Dm) cache hits.
+	PDmHits = NewCounter("relcomp_cc_pdm_cache_hits_total",
+		"master-side projection cache hits")
+	// PDmMisses counts master-side projection p(Dm) cache misses
+	// (projection evaluations over the master data).
+	PDmMisses = NewCounter("relcomp_cc_pdm_cache_misses_total",
+		"master-side projection cache misses")
+	// IndexBuilds counts secondary column-index materializations in the
+	// relation substrate.
+	IndexBuilds = NewCounter("relcomp_relation_index_builds_total",
+		"column hash-index builds")
+	// Valuations counts candidate valuations inspected by the
+	// completeness search across all disjuncts and checks.
+	Valuations = NewCounter("relcomp_core_valuations_total",
+		"candidate valuations inspected by the completeness search")
+	// PoolTasks counts branch tasks executed by the parallel search
+	// worker pool.
+	PoolTasks = NewCounter("relcomp_core_pool_tasks_total",
+		"branch tasks executed by the worker pool")
+	// PoolBusyNS accumulates wall-clock nanoseconds worker goroutines
+	// (including the submitting caller) spent executing branch tasks;
+	// together with PoolTasks and PoolWorkers it yields utilization.
+	PoolBusyNS = NewCounter("relcomp_core_pool_busy_nanoseconds_total",
+		"nanoseconds spent executing pool tasks")
+	// PoolWorkers gauges the goroutines currently draining pool tasks.
+	PoolWorkers = NewGauge("relcomp_core_pool_workers",
+		"goroutines currently draining pool tasks")
+	// Checks counts governed checks by kind (rcdp, rcqp, bounded-rcdp,
+	// bounded-rcqp).
+	Checks = NewCounterVec("relcomp_core_checks_total",
+		"completeness checks started", "check")
+	// Verdicts counts finished checks by verdict string (complete,
+	// incomplete, unknown; yes/no/unknown for RCQP).
+	Verdicts = NewCounterVec("relcomp_core_verdicts_total",
+		"completeness check outcomes", "verdict")
+	// Exhaustions counts Unknown verdicts by the governance dimension
+	// that ran out (cancelled, deadline, valuations, join-rows, tuples).
+	Exhaustions = NewCounterVec("relcomp_core_exhaustions_total",
+		"governed checks stopped by budget exhaustion", "reason")
+	// GateTrips counts governance gates tripping for the first time, by
+	// reason; a gate trips at most once however many loops observe it.
+	GateTrips = NewCounterVec("relcomp_gate_trips_total",
+		"governance gates tripped", "reason")
+	// CheckSeconds is the wall-clock latency histogram of governed
+	// checks (all kinds).
+	CheckSeconds = NewHistogram("relcomp_core_check_seconds",
+		"completeness check latency", DefBuckets)
+)

@@ -1,0 +1,387 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metric is the common surface of every registered instrument: a stable
+// name, a help line, a JSON-friendly snapshot value and a Prometheus
+// text-exposition block.
+type metric interface {
+	name() string
+	help() string
+	snapshot() any
+	promWrite(b *strings.Builder)
+}
+
+// Registry is a concurrent collection of named instruments. Lookups and
+// registrations take a mutex; the instruments themselves are lock-free,
+// so hot paths never touch the registry — they hold *Counter (etc.)
+// pointers obtained once at init.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{m: make(map[string]metric)} }
+
+// register adds m under its name, panicking on duplicates: the metric
+// set is declared statically, so a clash is a programming error.
+func (r *Registry) register(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.m[m.name()]; dup {
+		panic("obs: duplicate metric " + m.name())
+	}
+	r.m[m.name()] = m
+}
+
+// names returns the registered metric names in sorted order.
+func (r *Registry) names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.m))
+	for n := range r.m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// get returns the named metric, or nil.
+func (r *Registry) get(name string) metric {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[name]
+}
+
+// Snapshot returns a point-in-time view of every instrument: counter
+// and gauge values as int64, counter vectors as label→value maps,
+// histograms as {buckets, sum, count}. Individual reads are atomic;
+// the snapshot as a whole is not a consistent cut across instruments
+// (concurrent writers may land between reads), but every counter value
+// read is monotone with respect to earlier snapshots.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, n := range r.names() {
+		out[n] = r.get(n).snapshot()
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4), metrics sorted by name.
+func (r *Registry) WritePrometheus(b *strings.Builder) {
+	for _, n := range r.names() {
+		r.get(n).promWrite(b)
+	}
+}
+
+// promHeader writes the # HELP / # TYPE preamble of one metric.
+func promHeader(b *strings.Builder, name, help, typ string) {
+	b.WriteString("# HELP ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(help)
+	b.WriteString("\n# TYPE ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(typ)
+	b.WriteByte('\n')
+}
+
+// ---------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------
+
+// Counter is a monotone int64 counter. All methods are safe for
+// concurrent use; writes are a single atomic add guarded by the global
+// enabled flag.
+type Counter struct {
+	nm, hp string
+	v      atomic.Int64
+}
+
+// NewCounter creates a counter and registers it in the Default
+// registry.
+func NewCounter(name, help string) *Counter { return Default.Counter(name, help) }
+
+// Counter creates a counter registered in r.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{nm: name, hp: help}
+	r.register(c)
+	return c
+}
+
+// Add increments the counter by n (no-op when collection is disabled
+// or n <= 0 — counters are monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 && enabled.Load() {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) name() string  { return c.nm }
+func (c *Counter) help() string  { return c.hp }
+func (c *Counter) snapshot() any { return c.Value() }
+
+func (c *Counter) promWrite(b *strings.Builder) {
+	promHeader(b, c.nm, c.hp, "counter")
+	fmt.Fprintf(b, "%s %d\n", c.nm, c.Value())
+}
+
+// ---------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------
+
+// Gauge is an int64 value that can go up and down (e.g. live worker
+// count). Safe for concurrent use.
+type Gauge struct {
+	nm, hp string
+	v      atomic.Int64
+}
+
+// NewGauge creates a gauge and registers it in the Default registry.
+func NewGauge(name, help string) *Gauge { return Default.Gauge(name, help) }
+
+// Gauge creates a gauge registered in r.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{nm: name, hp: help}
+	r.register(g)
+	return g
+}
+
+// Add moves the gauge by n (possibly negative). Unlike counters,
+// gauges track live state (worker counts), so paired Add(+1)/Add(-1)
+// calls apply even while collection is disabled — otherwise a toggle
+// mid-flight would leave the gauge skewed forever.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set assigns the gauge.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) name() string  { return g.nm }
+func (g *Gauge) help() string  { return g.hp }
+func (g *Gauge) snapshot() any { return g.Value() }
+
+func (g *Gauge) promWrite(b *strings.Builder) {
+	promHeader(b, g.nm, g.hp, "gauge")
+	fmt.Fprintf(b, "%s %d\n", g.nm, g.Value())
+}
+
+// ---------------------------------------------------------------------
+// CounterVec
+// ---------------------------------------------------------------------
+
+// CounterVec is a family of counters distinguished by one label (e.g.
+// verdicts by outcome). Children are created on first use; With is a
+// read-locked map lookup, so callers on warm paths should cache the
+// child.
+type CounterVec struct {
+	nm, hp, label string
+
+	mu sync.RWMutex
+	m  map[string]*atomic.Int64
+}
+
+// NewCounterVec creates a one-label counter family and registers it in
+// the Default registry.
+func NewCounterVec(name, help, label string) *CounterVec {
+	return Default.CounterVec(name, help, label)
+}
+
+// CounterVec creates a one-label counter family registered in r.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{nm: name, hp: help, label: label, m: make(map[string]*atomic.Int64)}
+	r.register(v)
+	return v
+}
+
+// Add increments the child for the given label value by n.
+func (v *CounterVec) Add(value string, n int64) {
+	if n <= 0 || !enabled.Load() {
+		return
+	}
+	v.child(value).Add(n)
+}
+
+// Inc increments the child for the given label value by one.
+func (v *CounterVec) Inc(value string) { v.Add(value, 1) }
+
+// Value returns the child count for the given label value (0 when the
+// child has never been incremented).
+func (v *CounterVec) Value(value string) int64 {
+	v.mu.RLock()
+	c := v.m[value]
+	v.mu.RUnlock()
+	if c == nil {
+		return 0
+	}
+	return c.Load()
+}
+
+func (v *CounterVec) child(value string) *atomic.Int64 {
+	v.mu.RLock()
+	c := v.m[value]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.m[value]; c == nil {
+		c = new(atomic.Int64)
+		v.m[value] = c
+	}
+	return c
+}
+
+// values returns the label values in sorted order.
+func (v *CounterVec) values() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]string, 0, len(v.m))
+	for k := range v.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (v *CounterVec) name() string { return v.nm }
+func (v *CounterVec) help() string { return v.hp }
+
+func (v *CounterVec) snapshot() any {
+	out := make(map[string]int64)
+	for _, val := range v.values() {
+		out[val] = v.Value(val)
+	}
+	return out
+}
+
+func (v *CounterVec) promWrite(b *strings.Builder) {
+	promHeader(b, v.nm, v.hp, "counter")
+	for _, val := range v.values() {
+		fmt.Fprintf(b, "%s{%s=%q} %d\n", v.nm, v.label, val, v.Value(val))
+	}
+}
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+// DefBuckets are the default latency buckets in seconds, spanning the
+// sub-millisecond CQ evaluations up to the multi-second hardness-
+// reduction sweeps.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a cumulative bucketed distribution (Prometheus
+// histogram semantics): observation v lands in every bucket whose
+// upper bound is >= v, plus the implicit +Inf bucket. Bucket counts
+// and the total count are atomic; the sum is maintained with a
+// compare-and-swap loop over the float bits.
+type Histogram struct {
+	nm, hp string
+	bounds []float64 // sorted upper bounds, excluding +Inf
+
+	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sum     atomic.Uint64 // float64 bits
+}
+
+// NewHistogram creates a histogram with the given upper bounds
+// (sorted ascending; +Inf is implicit) and registers it in the Default
+// registry.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	return Default.Histogram(name, help, bounds)
+}
+
+// Histogram creates a histogram registered in r.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	h := &Histogram{nm: name, hp: help, bounds: bs, buckets: make([]atomic.Int64, len(bs)+1)}
+	r.register(h)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v; len(bounds) = +Inf
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+func (h *Histogram) name() string { return h.nm }
+func (h *Histogram) help() string { return h.hp }
+
+// cumulative returns the per-bucket cumulative counts (Prometheus
+// "le" semantics), ending with the +Inf bucket.
+func (h *Histogram) cumulative() []int64 {
+	out := make([]int64, len(h.buckets))
+	var acc int64
+	for i := range h.buckets {
+		acc += h.buckets[i].Load()
+		out[i] = acc
+	}
+	return out
+}
+
+func (h *Histogram) snapshot() any {
+	cum := h.cumulative()
+	buckets := make(map[string]int64, len(cum))
+	for i, bound := range h.bounds {
+		buckets[formatBound(bound)] = cum[i]
+	}
+	buckets["+Inf"] = cum[len(cum)-1]
+	return map[string]any{"buckets": buckets, "sum": h.Sum(), "count": h.Count()}
+}
+
+func (h *Histogram) promWrite(b *strings.Builder) {
+	promHeader(b, h.nm, h.hp, "histogram")
+	cum := h.cumulative()
+	for i, bound := range h.bounds {
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", h.nm, formatBound(bound), cum[i])
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", h.nm, cum[len(cum)-1])
+	fmt.Fprintf(b, "%s_sum %g\n", h.nm, h.Sum())
+	fmt.Fprintf(b, "%s_count %d\n", h.nm, h.Count())
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do
+// (shortest representation that round-trips).
+func formatBound(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerGolden(t *testing.T) {
+	var b strings.Builder
+	tr := NewTracer(&b)
+	tr.Emit("check_start", map[string]any{"check": "rcdp", "workers": 1})
+	tr.Emit("disjunct_done", map[string]any{"disjunct": 0, "valuations": 3, "witness": false})
+	tr.Emit("check_done", nil)
+	want := `{"check":"rcdp","ev":"check_start","seq":1,"workers":1}
+{"disjunct":0,"ev":"disjunct_done","seq":2,"valuations":3,"witness":false}
+{"ev":"check_done","seq":3}
+`
+	if got := b.String(); got != want {
+		t.Fatalf("trace:\n%s\nwant:\n%s", got, want)
+	}
+	if tr.Err() != nil {
+		t.Fatalf("Err = %v", tr.Err())
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit("ev", nil) // must not panic
+	if tr.Err() != nil {
+		t.Fatal("nil tracer reported an error")
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestTracerErrorLatches(t *testing.T) {
+	fw := &failWriter{n: 1}
+	tr := NewTracer(fw)
+	tr.Emit("ok", nil)
+	tr.Emit("fails", nil)
+	tr.Emit("dropped", nil)
+	if tr.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+	if fw.n != 0 {
+		t.Fatal("writer state wrong")
+	}
+}
+
+func TestGlobalTracer(t *testing.T) {
+	if Tracing() {
+		t.Fatal("tracing unexpectedly on at test start")
+	}
+	Emit("dropped", nil) // no tracer installed: must be a no-op
+
+	var b strings.Builder
+	tr := NewTracer(&b)
+	prev := SetTracer(tr)
+	defer SetTracer(prev)
+	if !Tracing() || CurrentTracer() != tr {
+		t.Fatal("SetTracer did not install")
+	}
+	Emit("hello", map[string]any{"x": 1})
+	if got := b.String(); got != `{"ev":"hello","seq":1,"x":1}`+"\n" {
+		t.Fatalf("global emit wrote %q", got)
+	}
+	if got := SetTracer(nil); got != tr {
+		t.Fatalf("SetTracer returned %v, want the previous tracer", got)
+	}
+	if Tracing() {
+		t.Fatal("tracing still on after SetTracer(nil)")
+	}
+}
+
+// TestTracerConcurrent checks (under -race) that concurrent emitters
+// interleave at line granularity with strictly sequential seq numbers.
+func TestTracerConcurrent(t *testing.T) {
+	var b syncBuffer
+	tr := NewTracer(&b)
+	var wg sync.WaitGroup
+	const n = 50
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				tr.Emit("e", map[string]any{"i": i})
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 4*n {
+		t.Fatalf("got %d lines, want %d", len(lines), 4*n)
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "{") || !strings.HasSuffix(l, "}") {
+			t.Fatalf("torn line %q", l)
+		}
+	}
+}
+
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

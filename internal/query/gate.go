@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // ErrRowBudget is returned by Gate.Step and Gate.Poll once the join-row
@@ -35,8 +37,9 @@ type Gate struct {
 	cause    func() error // maps a fired done channel to its error
 	rows     atomic.Int64
 	tuples   atomic.Int64
-	rowCap   int64 // 0 = unlimited
-	tupleCap int64 // 0 = unlimited
+	rowCap   int64       // 0 = unlimited
+	tupleCap int64       // 0 = unlimited
+	tripped  atomic.Bool // set once by the first stop observation
 }
 
 // NewGate builds a gate from a context and budget caps (0 = unlimited).
@@ -63,6 +66,36 @@ func (g *Gate) cancelErr() error {
 	}
 }
 
+// trip records the gate's first stop observation in the obs layer and
+// returns err unchanged. Loops keep observing a stopped gate on every
+// poll, so the CAS guard makes the trip counter and trace event fire
+// exactly once per gate; the cost is confined to error paths.
+func (g *Gate) trip(err error) error {
+	if err != nil && g.tripped.CompareAndSwap(false, true) {
+		reason := reasonLabel(err)
+		obs.GateTrips.Inc(reason)
+		if obs.Tracing() {
+			obs.Emit("gate_trip", map[string]any{"reason": reason})
+		}
+	}
+	return err
+}
+
+// reasonLabel names a gate stop for the obs layer, matching the
+// core.Reason vocabulary.
+func reasonLabel(err error) string {
+	switch {
+	case errors.Is(err, ErrRowBudget):
+		return "join-rows"
+	case errors.Is(err, ErrTupleBudget):
+		return "tuples"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	default:
+		return "cancelled"
+	}
+}
+
 // Step charges one join-row step and reports whether execution should
 // stop. It is called once per enumerated row on evaluation hot paths, so
 // a cancelled context stops a governed search within one row-step.
@@ -72,10 +105,10 @@ func (g *Gate) Step() error {
 	}
 	n := g.rows.Add(1)
 	if err := g.cancelErr(); err != nil {
-		return err
+		return g.trip(err)
 	}
 	if g.rowCap > 0 && n > g.rowCap {
-		return ErrRowBudget
+		return g.trip(ErrRowBudget)
 	}
 	return nil
 }
@@ -92,10 +125,10 @@ func (g *Gate) StepN(n int64) error {
 	}
 	total := g.rows.Add(n)
 	if err := g.cancelErr(); err != nil {
-		return err
+		return g.trip(err)
 	}
 	if g.rowCap > 0 && total > g.rowCap {
-		return ErrRowBudget
+		return g.trip(ErrRowBudget)
 	}
 	return nil
 }
@@ -109,13 +142,13 @@ func (g *Gate) Poll() error {
 		return nil
 	}
 	if err := g.cancelErr(); err != nil {
-		return err
+		return g.trip(err)
 	}
 	if g.rowCap > 0 && g.rows.Load() > g.rowCap {
-		return ErrRowBudget
+		return g.trip(ErrRowBudget)
 	}
 	if g.tupleCap > 0 && g.tuples.Load() > g.tupleCap {
-		return ErrTupleBudget
+		return g.trip(ErrTupleBudget)
 	}
 	return nil
 }
@@ -127,10 +160,10 @@ func (g *Gate) ChargeTuples(n int) error {
 	}
 	t := g.tuples.Add(int64(n))
 	if err := g.cancelErr(); err != nil {
-		return err
+		return g.trip(err)
 	}
 	if g.tupleCap > 0 && t > g.tupleCap {
-		return ErrTupleBudget
+		return g.trip(ErrTupleBudget)
 	}
 	return nil
 }

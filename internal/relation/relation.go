@@ -16,6 +16,8 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Value is a single database value. Values compare by string identity;
@@ -412,6 +414,7 @@ func (in *Instance) index(col int) *colIndex {
 // iterates the tuple map directly (not Tuples()) so concurrent index
 // builds never race the sorted-cache write.
 func (in *Instance) buildColIndex(col int) *colIndex {
+	obs.IndexBuilds.Inc()
 	buckets := make(map[Value][]Tuple)
 	for _, t := range in.tuples {
 		buckets[t[col]] = append(buckets[t[col]], t)
