@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-smoke bench-workers fmt-check vuln fuzz-smoke cover-check doc-sync examples-build
+.PHONY: ci build vet test race bench bench-smoke bench-workers fmt-check vuln fuzz-smoke cover-check doc-sync examples-build server-smoke
 
-ci: fmt-check vet build examples-build test race bench-smoke cover-check doc-sync fuzz-smoke vuln
+ci: fmt-check vet build examples-build test race bench-smoke cover-check doc-sync fuzz-smoke vuln server-smoke
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,18 @@ vet:
 test:
 	$(GO) test ./...
 
-# The parallel valuation-search engine is validated under the race
-# detector; internal/core contains all shared-state code paths.
+# Shared-state code paths run under the race detector: the parallel
+# valuation search (core), the admission-controlled serving layer
+# (server), and the cross-request caches it leans on (cq compiled
+# tableaux, cc p(Dm) memoization).
 race:
-	$(GO) test -race ./internal/core/...
+	$(GO) test -race ./internal/core/... ./internal/server/... ./internal/cq/... ./internal/cc/...
+
+# End-to-end relserve smoke: random port, one Example 2.1 RCDP request
+# must come back "complete", /healthz must answer, SIGTERM must drain
+# and exit 0.
+server-smoke:
+	sh scripts/server_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -41,10 +49,19 @@ examples-build:
 	$(GO) build ./examples/...
 
 # Doc/CLI sync: every flag defined in the commands must be documented
-# in README.md. Catches flags added without a docs pass.
+# in README.md. Catches flags added without a docs pass. Scans every
+# .go file under cmd/ (not just main.go) so commands that split flag
+# definitions across files stay covered, and first checks that every
+# cmd/ subdirectory actually contributes a main.go to the glob — a new
+# command that dodged the scan would silently exempt its flags.
 doc-sync:
 	@set -e; missing=0; \
-	flags=$$(grep -hoE 'flag\.[A-Za-z0-9]+\((&[A-Za-z0-9]+, )?"[a-z-]+"' cmd/*/main.go \
+	for d in cmd/*/; do \
+		if [ ! -f "$$d/main.go" ]; then \
+			echo "doc-sync: $$d has no main.go (scan glob would miss it)"; missing=1; \
+		fi; \
+	done; \
+	flags=$$(grep -hoE 'flag\.[A-Za-z0-9]+\((&[A-Za-z0-9]+, )?"[a-z-]+"' cmd/*/*.go \
 		| grep -oE '"[a-z-]+"' | tr -d '"' | sort -u); \
 	for f in $$flags; do \
 		if ! grep -q -- "-$$f" README.md; then \

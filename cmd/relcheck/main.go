@@ -90,40 +90,33 @@ func run(schemasPath, mSchemasPath, dbPath, masterPath, constraintsPath, queryPa
 	if schemasPath == "" || queryPath == "" {
 		return fmt.Errorf("-schemas and -query are required")
 	}
-	schemas, err := loadSchemas(schemasPath)
-	if err != nil {
-		return err
-	}
-	mSchemas := map[string]*relation.Schema{}
-	if mSchemasPath != "" {
-		if mSchemas, err = loadSchemas(mSchemasPath); err != nil {
-			return err
+	src := textq.ProblemSource{}
+	for _, part := range []struct {
+		dst  *string
+		path string
+	}{
+		{&src.Schemas, schemasPath},
+		{&src.MasterSchemas, mSchemasPath},
+		{&src.DB, dbPath},
+		{&src.Master, masterPath},
+		{&src.Constraints, constraintsPath},
+		{&src.Query, queryPath},
+	} {
+		if part.path == "" {
+			continue
 		}
-	}
-	dm, err := loadDB(masterPath, mSchemas)
-	if err != nil {
-		return err
-	}
-	vset := cc.NewSet()
-	if constraintsPath != "" {
-		src, err := os.ReadFile(constraintsPath)
+		text, err := os.ReadFile(part.path)
 		if err != nil {
 			return err
 		}
-		if vset, err = textq.ParseConstraints(string(src), schemas, dm); err != nil {
-			return err
-		}
+		*part.dst = string(text)
 	}
-	qsrc, err := os.ReadFile(queryPath)
-	if err != nil {
-		return err
-	}
-	q, err := textq.ParseQuery(string(qsrc), schemas)
+	p, err := textq.ParseProblem(src)
 	if err != nil {
 		return err
 	}
 	if verbose {
-		fmt.Printf("query (%v):\n%s\n\nconstraints:\n%s\n\n", q.Lang(), q, vset)
+		fmt.Printf("query (%v):\n%s\n\nconstraints:\n%s\n\n", p.Q.Lang(), p.Q, p.V)
 	}
 
 	doRCDP := mode == "rcdp" || mode == "both"
@@ -136,16 +129,12 @@ func run(schemasPath, mSchemasPath, dbPath, masterPath, constraintsPath, queryPa
 		if dbPath == "" {
 			return fmt.Errorf("-db is required for rcdp")
 		}
-		d, err := loadDB(dbPath, schemas)
-		if err != nil {
-			return err
-		}
-		if err := reportRCDP(q, d, dm, vset, budget); err != nil {
+		if err := reportRCDP(p.Q, p.D, p.Dm, p.V, budget); err != nil {
 			return err
 		}
 	}
 	if doRCQP {
-		if err := reportRCQP(q, dm, vset, schemas, budget); err != nil {
+		if err := reportRCQP(p.Q, p.Dm, p.V, p.Schemas, budget); err != nil {
 			return err
 		}
 	}
@@ -221,29 +210,6 @@ func reportRCQP(q qlang.Query, dm *relation.Database, vset *cc.Set, schemas map[
 		fmt.Printf("RCQP: UNKNOWN — %s\n", res.Detail)
 	}
 	return nil
-}
-
-func loadSchemas(path string) (map[string]*relation.Schema, error) {
-	src, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	return textq.ParseSchemas(string(src))
-}
-
-func loadDB(path string, schemas map[string]*relation.Schema) (*relation.Database, error) {
-	if path == "" {
-		var ss []*relation.Schema
-		for _, s := range schemas {
-			ss = append(ss, s)
-		}
-		return relation.NewDatabase(ss...), nil
-	}
-	src, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	return textq.ParseDatabase(string(src), schemas)
 }
 
 func indent(s string) string {

@@ -1,0 +1,53 @@
+package cc
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// The serving layer (internal/server) checks one shared constraint set
+// against a pinned master database from many request goroutines at
+// once, so the p(Dm) memoization (an atomic.Pointer swap keyed by
+// instance identity and generation) must be safe — and effective —
+// under concurrent first use. Run under -race via make race.
+func TestConcurrentSatisfiedSharedSet(t *testing.T) {
+	d, dm := crmSchemas()
+	dm.MustAdd("DCust", "c1", "Ann", "908", "5550001")
+	dm.MustAdd("DCust", "c2", "Eve", "973", "5550002")
+	d.MustAdd("Cust", "c1", "Ann", "01", "908", "5550001")
+	d.MustAdd("Cust", "c2", "Eve", "01", "973", "5550002")
+	d.MustAdd("Supt", "e0", "sales", "c1")
+	d.MustAdd("Supt", "e1", "sales", "c2")
+	set := NewSet(phi0())
+
+	hits0 := obs.PDmHits.Value()
+	const goroutines = 16
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			for rep := 0; rep < 50; rep++ {
+				ok, err := set.Satisfied(d, dm)
+				if err != nil || !ok {
+					t.Errorf("goroutine %d rep %d: Satisfied = %v, %v", i, rep, ok, err)
+					return
+				}
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	// With Dm pinned, almost every check after the first must be served
+	// by the memoized projection. Racing first computations may each
+	// store their own copy, so require a healthy majority rather than
+	// the exact count.
+	if hits := obs.PDmHits.Value() - hits0; hits < goroutines*50/2 {
+		t.Errorf("p(Dm) cache hits = %d out of %d checks", hits, goroutines*50)
+	}
+}

@@ -126,6 +126,29 @@ func (b Budget) IsZero() bool {
 	return b.Timeout <= 0 && b.MaxValuations <= 0 && b.MaxJoinRows <= 0 && b.MaxTuples <= 0
 }
 
+// Clamp limits b by a ceiling budget, dimension by dimension: where the
+// ceiling is set (positive), an unset (non-positive) or larger value of
+// b is replaced by the ceiling; a stricter value of b is kept. Where
+// the ceiling is unset, b passes through unchanged. Serving layers use
+// it to honor per-request budget overrides without letting a request
+// exceed operator-configured limits: unlimited requests inherit the
+// ceiling rather than unbounded search.
+func (b Budget) Clamp(ceiling Budget) Budget {
+	if ceiling.Timeout > 0 && (b.Timeout <= 0 || b.Timeout > ceiling.Timeout) {
+		b.Timeout = ceiling.Timeout
+	}
+	if ceiling.MaxValuations > 0 && (b.MaxValuations <= 0 || b.MaxValuations > ceiling.MaxValuations) {
+		b.MaxValuations = ceiling.MaxValuations
+	}
+	if ceiling.MaxJoinRows > 0 && (b.MaxJoinRows <= 0 || b.MaxJoinRows > ceiling.MaxJoinRows) {
+		b.MaxJoinRows = ceiling.MaxJoinRows
+	}
+	if ceiling.MaxTuples > 0 && (b.MaxTuples <= 0 || b.MaxTuples > ceiling.MaxTuples) {
+		b.MaxTuples = ceiling.MaxTuples
+	}
+	return b
+}
+
 // BudgetStats reports the resources a governed check consumed; it is
 // filled in by the Ctx entry points whether or not the check finished.
 // JoinRows and Tuples are only counted on governed runs (a nil gate —

@@ -378,3 +378,39 @@ func TestBoundedCtxGovernance(t *testing.T) {
 		}
 	}
 }
+
+func TestBudgetClamp(t *testing.T) {
+	ceiling := Budget{Timeout: 2 * time.Second, MaxValuations: 100, MaxJoinRows: 1000, MaxTuples: 500}
+	cases := []struct {
+		name    string
+		in, out Budget
+	}{
+		{"unset inherits ceiling", Budget{}, ceiling},
+		{"over-ask clamped",
+			Budget{Timeout: time.Hour, MaxValuations: 1 << 20, MaxJoinRows: 1 << 40, MaxTuples: 1 << 40},
+			ceiling},
+		{"stricter kept",
+			Budget{Timeout: time.Second, MaxValuations: 10, MaxJoinRows: 50, MaxTuples: 5},
+			Budget{Timeout: time.Second, MaxValuations: 10, MaxJoinRows: 50, MaxTuples: 5}},
+		{"mixed per-dimension",
+			Budget{Timeout: time.Hour, MaxJoinRows: 50},
+			Budget{Timeout: 2 * time.Second, MaxValuations: 100, MaxJoinRows: 50, MaxTuples: 500}},
+	}
+	for _, tc := range cases {
+		if got := tc.in.Clamp(ceiling); got != tc.out {
+			t.Errorf("%s: Clamp = %+v, want %+v", tc.name, got, tc.out)
+		}
+	}
+	// An unset ceiling passes everything through.
+	free := Budget{Timeout: time.Hour, MaxValuations: 7}
+	if got := free.Clamp(Budget{}); got != free {
+		t.Errorf("zero ceiling: Clamp = %+v, want %+v", got, free)
+	}
+	// Partially set ceilings only clamp their own dimension.
+	partial := Budget{MaxJoinRows: 10}
+	got := Budget{Timeout: time.Minute}.Clamp(partial)
+	want := Budget{Timeout: time.Minute, MaxJoinRows: 10}
+	if got != want {
+		t.Errorf("partial ceiling: Clamp = %+v, want %+v", got, want)
+	}
+}

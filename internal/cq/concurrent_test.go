@@ -1,0 +1,98 @@
+package cq
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// The serving layer (internal/server) evaluates one shared parsed query
+// object from many request goroutines at once, so the lazy caches on
+// query objects — the sync.Once compiled tableau on CQ/UCQ and the
+// CAS-published column indexes on relations — must be safe for
+// concurrent first use. These tests pin that property; run them under
+// -race via make race.
+
+// TestConcurrentEvalSharedCQ hammers one CQ from many goroutines with
+// no prior warm-up, so compilation and index publication race on first
+// use, and checks every goroutine sees the same answer.
+func TestConcurrentEvalSharedCQ(t *testing.T) {
+	q := New("Q", []query.Term{v("a"), v("c")},
+		[]query.RelAtom{atom("R", v("a"), v("b")), atom("S", v("b"), v("c"))})
+	d := testDB(t)
+	want := []relation.Tuple{relation.T("1", "u"), relation.T("2", "v")}
+
+	const goroutines = 16
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	tabs := make([]*Tableau, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			for rep := 0; rep < 50; rep++ {
+				got := q.Eval(d)
+				if len(got) != 2 || !got[0].Equal(want[0]) || !got[1].Equal(want[1]) {
+					t.Errorf("goroutine %d: Eval = %v, want %v", i, got, want)
+					return
+				}
+			}
+			tab, err := q.Compiled()
+			if err != nil {
+				t.Errorf("goroutine %d: Compiled: %v", i, err)
+				return
+			}
+			tabs[i] = tab
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	// The sync.Once must hand every caller the same compiled object —
+	// that identity is what makes the tableau a shared cache.
+	for i := 1; i < goroutines; i++ {
+		if tabs[i] != tabs[0] {
+			t.Fatalf("goroutine %d got a distinct compiled tableau", i)
+		}
+	}
+}
+
+// TestConcurrentEvalSharedUCQ does the same for a union query: the
+// union tableau compiles once and serves all goroutines.
+func TestConcurrentEvalSharedUCQ(t *testing.T) {
+	q1 := New("Q", []query.Term{v("a")},
+		[]query.RelAtom{atom("R", v("a"), v("b"))})
+	q2 := New("Q", []query.Term{v("c")},
+		[]query.RelAtom{atom("S", v("b"), v("c"))})
+	u := Union("Q", q1, q2)
+	d := testDB(t)
+	want := map[string]bool{"1": true, "2": true, "u": true, "v": true}
+
+	const goroutines = 16
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			for rep := 0; rep < 50; rep++ {
+				got := u.Eval(d)
+				if len(got) != len(want) {
+					t.Errorf("goroutine %d: Eval returned %d tuples, want %d", i, len(got), len(want))
+					return
+				}
+				for _, tup := range got {
+					if !want[string(tup[0])] {
+						t.Errorf("goroutine %d: unexpected tuple %v", i, tup)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+}

@@ -7,6 +7,7 @@ import (
 	"net/http/pprof"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // publishOnce guards the expvar publication of the Default registry:
@@ -14,12 +15,45 @@ import (
 // more than once (tests, multiple servers).
 var publishOnce sync.Once
 
+// readiness holds the process-wide readiness probe consulted by
+// /readyz. nil (the default) means always ready.
+var readiness atomic.Pointer[func() bool]
+
+// SetReady installs the readiness probe behind the /readyz endpoint of
+// Handler and returns the previous probe. A long-running server (see
+// cmd/relserve) points it at its drain state so load balancers stop
+// routing to an instance that is shutting down; nil restores the
+// always-ready default. /healthz is intentionally not configurable: it
+// reports process liveness only.
+func SetReady(probe func() bool) func() bool {
+	var prev *func() bool
+	if probe == nil {
+		prev = readiness.Swap(nil)
+	} else {
+		prev = readiness.Swap(&probe)
+	}
+	if prev == nil {
+		return nil
+	}
+	return *prev
+}
+
+// Ready reports the current readiness probe's answer (true when no
+// probe is installed).
+func Ready() bool {
+	p := readiness.Load()
+	return p == nil || (*p)()
+}
+
 // Handler returns the observability HTTP surface:
 //
 //	/metrics            Prometheus text exposition of the Default registry
 //	/debug/vars         expvar JSON (registry snapshot under "relcomp",
 //	                    plus the standard cmdline/memstats)
 //	/debug/pprof/...    net/http/pprof profiles
+//	/healthz            process liveness (always 200 "ok")
+//	/readyz             readiness: 200 "ok", or 503 "draining" while the
+//	                    SetReady probe reports not ready
 //
 // The handler is stateless; the registry is read at request time, so a
 // long-running check shows live counters.
@@ -40,7 +74,28 @@ func Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", HealthzHandler)
+	mux.HandleFunc("/readyz", ReadyzHandler)
 	return mux
+}
+
+// HealthzHandler answers process-liveness probes: 200 "ok" for as long
+// as the process can serve HTTP at all.
+func HealthzHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// ReadyzHandler answers readiness probes against the SetReady probe:
+// 200 "ok" when ready, 503 "draining" when not.
+func ReadyzHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !Ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("draining\n"))
+		return
+	}
+	_, _ = w.Write([]byte("ok\n"))
 }
 
 // Serve starts the observability endpoint on addr in a background

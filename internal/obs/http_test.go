@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -85,5 +86,59 @@ func TestServe(t *testing.T) {
 	body, _ := io.ReadAll(resp.Body)
 	if !strings.Contains(string(body), "relcomp_core_checks_total") {
 		t.Fatal("served /metrics missing engine metrics")
+	}
+}
+
+func TestHandlerHealthz(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+			t.Fatalf("%s = %d %q, want 200 ok", path, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestHandlerReadyzProbe(t *testing.T) {
+	var ready atomic.Bool
+	prev := SetReady(ready.Load)
+	defer SetReady(prev)
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || strings.TrimSpace(string(body)) != "draining" {
+		t.Fatalf("/readyz while not ready = %d %q, want 503 draining", resp.StatusCode, body)
+	}
+	// /healthz stays green regardless of readiness.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz while not ready = %d, want 200", resp.StatusCode)
+	}
+
+	ready.Store(true)
+	resp, err = http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz after ready = %d, want 200", resp.StatusCode)
 	}
 }

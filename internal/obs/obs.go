@@ -124,3 +124,32 @@ var (
 	CheckSeconds = NewHistogram("relcomp_core_check_seconds",
 		"completeness check latency", DefBuckets)
 )
+
+// The serving-layer metric set (package internal/server / cmd/relserve).
+// Declared here with the engine metrics so every relcomp exposition
+// name lives in one place.
+var (
+	// ServeRequests counts HTTP check requests by endpoint (rcdp, rcqp,
+	// bounded, catalog), admitted or not.
+	ServeRequests = NewCounterVec("relserve_requests_total",
+		"completeness-service requests received", "endpoint")
+	// ServeRejections counts requests refused by admission control, by
+	// reason (queue-full, draining).
+	ServeRejections = NewCounterVec("relserve_rejected_total",
+		"completeness-service requests rejected by admission control", "reason")
+	// ServeVerdicts counts served check responses by verdict string.
+	ServeVerdicts = NewCounterVec("relserve_verdicts_total",
+		"completeness-service check responses by verdict", "verdict")
+	// ServeInflight gauges requests admitted and not yet answered
+	// (queued plus executing).
+	ServeInflight = NewGauge("relserve_inflight_requests",
+		"admitted completeness-service requests in flight")
+	// ServeSeconds is the admission-to-response latency histogram of
+	// admitted check requests (queue wait included).
+	ServeSeconds = NewHistogram("relserve_request_seconds",
+		"completeness-service request latency", DefBuckets)
+	// ServeQueryCache counts compiled-query cache lookups of the
+	// serving layer by result (hit, miss).
+	ServeQueryCache = NewCounterVec("relserve_query_cache_total",
+		"serving-layer compiled-query cache lookups", "result")
+)

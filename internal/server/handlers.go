@@ -1,0 +1,463 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/qlang"
+	"repro/internal/relation"
+	"repro/internal/textq"
+)
+
+// BudgetOverride is the per-request governance override. Every field
+// is optional; set fields replace the server default for that
+// dimension and are then clamped to the operator ceilings.
+type BudgetOverride struct {
+	TimeoutMS     int64 `json:"timeout_ms,omitempty"`
+	MaxValuations int   `json:"max_valuations,omitempty"`
+	MaxJoinRows   int64 `json:"max_join_rows,omitempty"`
+	MaxTuples     int64 `json:"max_tuples,omitempty"`
+}
+
+// CheckRequest is the body of the three check endpoints. All problem
+// parts use the textq grammar. Either Catalog names a registered
+// (Dm, V) context — the request then carries only DB facts and the
+// query — or the request is self-contained with inline Schemas,
+// MasterSchemas, Master and Constraints.
+type CheckRequest struct {
+	Catalog       string `json:"catalog,omitempty"`
+	Schemas       string `json:"schemas,omitempty"`
+	MasterSchemas string `json:"master_schemas,omitempty"`
+	DB            string `json:"db,omitempty"`
+	Master        string `json:"master,omitempty"`
+	Constraints   string `json:"constraints,omitempty"`
+	Query         string `json:"query"`
+
+	Budget *BudgetOverride `json:"budget,omitempty"`
+
+	// Bounded-search knobs (/v1/bounded only; zero keeps the engine
+	// defaults).
+	MaxAdd      int `json:"max_add,omitempty"`
+	FreshValues int `json:"fresh_values,omitempty"`
+}
+
+// StatsJSON mirrors core.BudgetStats for responses.
+type StatsJSON struct {
+	Valuations int     `json:"valuations"`
+	JoinRows   int64   `json:"join_rows"`
+	Tuples     int64   `json:"tuples"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+}
+
+func statsJSON(st core.BudgetStats) *StatsJSON {
+	return &StatsJSON{
+		Valuations: st.Valuations,
+		JoinRows:   st.JoinRows,
+		Tuples:     st.Tuples,
+		ElapsedMS:  float64(st.Elapsed) / float64(time.Millisecond),
+	}
+}
+
+// CheckResponse is the body of a successful check. Verdict is the
+// three-valued outcome ("complete", "incomplete", "unknown" for
+// RCDP/bounded; "yes", "no", "unknown" for RCQP); Reason names the
+// exhausted governance dimension on "unknown". Extension/NewTuple
+// witness incompleteness (textq facts), Witness carries a verified
+// complete database on RCQP "yes".
+type CheckResponse struct {
+	RequestID string     `json:"request_id"`
+	Verdict   string     `json:"verdict"`
+	Reason    string     `json:"reason,omitempty"`
+	Stats     *StatsJSON `json:"stats,omitempty"`
+
+	Extension string   `json:"extension,omitempty"`
+	NewTuple  []string `json:"new_tuple,omitempty"`
+
+	Method  string `json:"method,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+	Witness string `json:"witness,omitempty"`
+
+	Explored int `json:"explored,omitempty"`
+	MaxAdd   int `json:"max_add,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	RequestID string `json:"request_id,omitempty"`
+	Error     string `json:"error"`
+}
+
+// checkInput is a resolved request: parsed problem parts plus the
+// effective budget.
+type checkInput struct {
+	schemas map[string]*relation.Schema
+	d       *relation.Database
+	dm      *relation.Database
+	v       *cc.Set
+	q       qlang.Query
+	budget  core.Budget
+	req     *CheckRequest
+}
+
+// httpError carries a status code with a client-facing message.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func httpErrorf(status int, format string, args ...any) error {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// checkHandler wraps one check endpoint with the shared serving
+// machinery: method filtering, drain refusal, admission control, the
+// worker slot, request decoding/resolution and response/metric/trace
+// emission. run executes the already-resolved check.
+func (s *Server) checkHandler(endpoint string, run func(ctx context.Context, in *checkInput) (*CheckResponse, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		obs.ServeRequests.Inc(endpoint)
+		id := s.nextRequestID()
+		w.Header().Set("X-Request-Id", id)
+		if r.Method != http.MethodPost {
+			writeError(w, id, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		if s.Draining() {
+			obs.ServeRejections.Inc("draining")
+			writeError(w, id, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		// Decode before admission: consuming the body lets net/http
+		// surface client disconnects through the request context while
+		// the request waits for a worker slot; the expensive work
+		// (textq parsing, the check itself) stays inside the slot.
+		var req CheckRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, id, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		if !s.admit() {
+			obs.ServeRejections.Inc("queue-full")
+			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+			writeError(w, id, http.StatusTooManyRequests,
+				"admission queue is full (capacity %d); retry later", s.capacity)
+			return
+		}
+		s.wg.Add(1)
+		defer s.release()
+		start := time.Now()
+		if obs.Tracing() {
+			obs.Emit("http_request", map[string]any{"id": id, "endpoint": endpoint})
+		}
+
+		// Wait for an execution slot; a client that goes away while
+		// queued releases its admission slot without running.
+		ctx := r.Context()
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			obs.ServeRejections.Inc("abandoned")
+			return
+		}
+		defer func() { <-s.sem }()
+		if s.beforeCheck != nil {
+			s.beforeCheck()
+		}
+
+		resp, err := s.process(ctx, &req, run)
+		status := http.StatusOK
+		verdict := ""
+		if err != nil {
+			var he *httpError
+			if errors.As(err, &he) {
+				status = he.status
+			} else {
+				status = http.StatusUnprocessableEntity
+			}
+			writeError(w, id, status, "%s", err.Error())
+		} else {
+			resp.RequestID = id
+			verdict = resp.Verdict
+			obs.ServeVerdicts.Inc(verdict)
+			writeJSON(w, http.StatusOK, resp)
+		}
+		obs.ServeSeconds.Observe(time.Since(start).Seconds())
+		if obs.Tracing() {
+			f := map[string]any{"id": id, "endpoint": endpoint, "status": status}
+			if verdict != "" {
+				f["verdict"] = verdict
+			}
+			obs.Emit("http_response", f)
+		}
+	}
+}
+
+// process resolves and runs one admitted check request.
+func (s *Server) process(ctx context.Context, req *CheckRequest, run func(ctx context.Context, in *checkInput) (*CheckResponse, error)) (*CheckResponse, error) {
+	in, err := s.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	return run(ctx, in)
+}
+
+// resolve turns a decoded request into parsed problem parts and the
+// effective, ceiling-clamped budget.
+func (s *Server) resolve(req *CheckRequest) (*checkInput, error) {
+	if req.Query == "" {
+		return nil, httpErrorf(http.StatusBadRequest, "query is required")
+	}
+	in := &checkInput{req: req, budget: s.effectiveBudget(req.Budget)}
+	if req.Catalog != "" {
+		if req.Schemas != "" || req.MasterSchemas != "" || req.Master != "" || req.Constraints != "" {
+			return nil, httpErrorf(http.StatusBadRequest,
+				"catalog %q conflicts with inline schemas/master/constraints", req.Catalog)
+		}
+		e := s.catalog.Get(req.Catalog)
+		if e == nil {
+			return nil, httpErrorf(http.StatusNotFound, "catalog %q is not registered", req.Catalog)
+		}
+		d, err := textq.ParseFacts(req.DB, e.Schemas)
+		if err != nil {
+			return nil, httpErrorf(http.StatusBadRequest, "db: %v", err)
+		}
+		q, err := e.Query(req.Query)
+		if err != nil {
+			return nil, httpErrorf(http.StatusBadRequest, "query: %v", err)
+		}
+		in.schemas, in.d, in.dm, in.v, in.q = e.Schemas, d, e.Dm, e.V, q
+		return in, nil
+	}
+	p, err := textq.ParseProblem(textq.ProblemSource{
+		Schemas:       req.Schemas,
+		MasterSchemas: req.MasterSchemas,
+		DB:            req.DB,
+		Master:        req.Master,
+		Constraints:   req.Constraints,
+		Query:         req.Query,
+	})
+	if err != nil {
+		return nil, httpErrorf(http.StatusBadRequest, "%v", err)
+	}
+	in.schemas, in.d, in.dm, in.v, in.q = p.Schemas, p.D, p.Dm, p.V, p.Q
+	return in, nil
+}
+
+// effectiveBudget overlays the request's overrides on the server
+// defaults and clamps the result to the operator ceilings.
+func (s *Server) effectiveBudget(o *BudgetOverride) core.Budget {
+	b := s.cfg.DefaultBudget
+	if o != nil {
+		if o.TimeoutMS > 0 {
+			b.Timeout = time.Duration(o.TimeoutMS) * time.Millisecond
+		}
+		if o.MaxValuations > 0 {
+			b.MaxValuations = o.MaxValuations
+		}
+		if o.MaxJoinRows > 0 {
+			b.MaxJoinRows = o.MaxJoinRows
+		}
+		if o.MaxTuples > 0 {
+			b.MaxTuples = o.MaxTuples
+		}
+	}
+	return b.Clamp(s.cfg.MaxBudget)
+}
+
+// decidable guards the exact endpoints: RCDP/RCQP are undecidable
+// beyond monotone queries and constraints (Theorems 3.1/4.1).
+func decidable(in *checkInput) error {
+	switch {
+	case !in.q.Lang().Monotone() && !in.v.AllMonotone():
+		return httpErrorf(http.StatusUnprocessableEntity,
+			"undecidable fragment (%v query, non-monotone constraints): use /v1/bounded", in.q.Lang())
+	case !in.q.Lang().Monotone():
+		return httpErrorf(http.StatusUnprocessableEntity,
+			"undecidable fragment (%v query): use /v1/bounded", in.q.Lang())
+	case !in.v.AllMonotone():
+		return httpErrorf(http.StatusUnprocessableEntity,
+			"undecidable fragment (non-monotone constraints): use /v1/bounded")
+	}
+	return nil
+}
+
+func (s *Server) runRCDP(ctx context.Context, in *checkInput) (*CheckResponse, error) {
+	if err := decidable(in); err != nil {
+		return nil, err
+	}
+	ck := core.Checker{Workers: s.cfg.CheckWorkers, Budget: in.budget}
+	res, err := ck.RCDPCtx(ctx, in.q, in.d, in.dm, in.v)
+	if err != nil {
+		return nil, err
+	}
+	out := &CheckResponse{
+		Verdict: res.Verdict.String(),
+		Reason:  res.Reason.String(),
+		Stats:   statsJSON(res.Stats),
+	}
+	if res.Verdict == core.VerdictIncomplete {
+		out.Extension = textq.FormatDatabase(res.Extension)
+		out.NewTuple = tupleJSON(res.NewTuple)
+	}
+	return out, nil
+}
+
+func (s *Server) runRCQP(ctx context.Context, in *checkInput) (*CheckResponse, error) {
+	if err := decidable(in); err != nil {
+		return nil, err
+	}
+	ck := core.QPChecker{Checker: core.Checker{Workers: s.cfg.CheckWorkers, Budget: in.budget}}
+	res, err := ck.RCQPCtx(ctx, in.q, in.dm, in.v, in.schemas)
+	if err != nil {
+		return nil, err
+	}
+	out := &CheckResponse{
+		Verdict: res.Status.String(),
+		Reason:  res.Reason.String(),
+		Stats:   statsJSON(res.Stats),
+		Method:  res.Method,
+		Detail:  res.Detail,
+	}
+	if res.Witness != nil {
+		out.Witness = textq.FormatDatabase(res.Witness)
+	}
+	return out, nil
+}
+
+func (s *Server) runBounded(ctx context.Context, in *checkInput) (*CheckResponse, error) {
+	opts := core.BoundedOpts{
+		MaxAdd:      in.req.MaxAdd,
+		FreshValues: in.req.FreshValues,
+		Workers:     s.cfg.CheckWorkers,
+		Budget:      in.budget,
+	}
+	res, err := core.BoundedRCDPCtx(ctx, in.q, in.d, in.dm, in.v, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &CheckResponse{
+		Verdict:  res.Verdict.String(),
+		Reason:   res.Reason.String(),
+		Stats:    statsJSON(res.Stats),
+		Explored: res.Explored,
+		MaxAdd:   res.MaxAdd,
+	}
+	if res.Incomplete {
+		out.Extension = textq.FormatDatabase(res.Extension)
+		out.NewTuple = tupleJSON(res.NewTuple)
+	}
+	return out, nil
+}
+
+// CatalogRequest registers a master-data context under a name.
+type CatalogRequest struct {
+	Name          string `json:"name"`
+	Schemas       string `json:"schemas"`
+	MasterSchemas string `json:"master_schemas,omitempty"`
+	Master        string `json:"master,omitempty"`
+	Constraints   string `json:"constraints,omitempty"`
+}
+
+// CatalogInfo describes one registered entry.
+type CatalogInfo struct {
+	Name          string `json:"name"`
+	Relations     int    `json:"relations"`
+	MasterTuples  int    `json:"master_tuples"`
+	Constraints   int    `json:"constraints"`
+	CachedQueries int    `json:"cached_queries"`
+}
+
+// catalogHandler registers entries (POST) and lists them (GET).
+func (s *Server) catalogHandler(w http.ResponseWriter, r *http.Request) {
+	obs.ServeRequests.Inc("catalog")
+	id := s.nextRequestID()
+	w.Header().Set("X-Request-Id", id)
+	switch r.Method {
+	case http.MethodGet:
+		names := s.catalog.Names()
+		infos := make([]CatalogInfo, 0, len(names))
+		for _, n := range names {
+			infos = append(infos, catalogInfo(s.catalog.Get(n)))
+		}
+		writeJSON(w, http.StatusOK, infos)
+	case http.MethodPost:
+		if s.Draining() {
+			obs.ServeRejections.Inc("draining")
+			writeError(w, id, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		var req CatalogRequest
+		dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, id, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		e, err := s.catalog.Register(req.Name, textq.ProblemSource{
+			Schemas:       req.Schemas,
+			MasterSchemas: req.MasterSchemas,
+			Master:        req.Master,
+			Constraints:   req.Constraints,
+		})
+		if err != nil {
+			status := http.StatusBadRequest
+			if s.catalog.Get(req.Name) != nil {
+				status = http.StatusConflict
+			}
+			writeError(w, id, status, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, catalogInfo(e))
+	default:
+		writeError(w, id, http.StatusMethodNotAllowed, "GET or POST only")
+	}
+}
+
+func catalogInfo(e *Entry) CatalogInfo {
+	tuples := 0
+	for _, name := range e.Dm.Relations() {
+		tuples += e.Dm.Instance(name).Len()
+	}
+	return CatalogInfo{
+		Name:          e.Name,
+		Relations:     len(e.Schemas),
+		MasterTuples:  tuples,
+		Constraints:   e.V.Len(),
+		CachedQueries: e.CachedQueries(),
+	}
+}
+
+func tupleJSON(t relation.Tuple) []string {
+	if t == nil {
+		return nil
+	}
+	out := make([]string, len(t))
+	for i, v := range t {
+		out[i] = string(v)
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}
+
+func writeError(w http.ResponseWriter, id string, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{RequestID: id, Error: fmt.Sprintf(format, args...)})
+}

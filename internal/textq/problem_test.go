@@ -1,0 +1,101 @@
+package textq
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/qlang"
+)
+
+// example21 is the Example 2.1 CRM problem in text form, the same
+// instance the quickstart example builds programmatically: e0 supports
+// the only area-908 domestic customer, so D is complete for Q1.
+var example21 = ProblemSource{
+	Schemas: `
+rel Cust(cid, name, cc, ac, phn)
+rel Supt(eid, dept, cid)
+rel Manage(eid1, eid2)
+`,
+	MasterSchemas: `rel DCust(cid, name, ac, phn)`,
+	Master: `
+DCust(c1, Ann, 908, 5550001).
+DCust(c2, Bob, 973, 5550002).
+`,
+	DB: `
+Cust(c1, Ann, 01, 908, 5550001).
+Cust(c2, Bob, 01, 973, 5550002).
+Supt(e0, sales, c1).
+`,
+	Constraints: `cc phi0(C, A) :- Cust(C, N, CC, A, P), Supt(E, D, C), CC = 01 <= DCust[0, 2]`,
+	Query:       `Q1(C) :- Supt(E, D, C), Cust(C, N, CC, A, P), E = e0, CC = 01, A = 908`,
+}
+
+func TestParseProblem(t *testing.T) {
+	p, err := ParseProblem(example21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Schemas) != 3 || len(p.MasterSchemas) != 1 {
+		t.Fatalf("schemas %d master %d", len(p.Schemas), len(p.MasterSchemas))
+	}
+	if p.D.Instance("Cust").Len() != 2 || p.Dm.Instance("DCust").Len() != 2 {
+		t.Fatal("facts not parsed")
+	}
+	if p.V.Len() != 1 || !p.V.AllMonotone() {
+		t.Fatalf("constraints: %v", p.V)
+	}
+	if p.Q.Lang() != qlang.CQ || p.Q.Arity() != 1 {
+		t.Fatalf("query: lang %v arity %d", p.Q.Lang(), p.Q.Arity())
+	}
+	got, err := p.Q.Eval(p.D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0][0] != "c1" {
+		t.Fatalf("Q1(D) = %v", got)
+	}
+}
+
+func TestParseProblemOptionalParts(t *testing.T) {
+	p, err := ParseProblem(ProblemSource{
+		Schemas: `rel R(a, b)`,
+		Query:   `Q(X) :- R(X, Y)`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.D.Instance("R").Len() != 0 {
+		t.Fatal("empty DB not built over schemas")
+	}
+	if p.Dm == nil || p.V.Len() != 0 {
+		t.Fatal("defaults missing")
+	}
+}
+
+func TestParseProblemErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  ProblemSource
+		part string
+	}{
+		{"missing schemas", ProblemSource{Query: "Q(X) :- R(X)"}, "schemas"},
+		{"missing query", ProblemSource{Schemas: "rel R(a)"}, "query"},
+		{"bad schemas", ProblemSource{Schemas: "relx R(a)", Query: "Q(X) :- R(X)"}, "schemas"},
+		{"bad db", ProblemSource{Schemas: "rel R(a)", DB: "R(x)", Query: "Q(X) :- R(X)"}, "db"},
+		{"bad master", ProblemSource{Schemas: "rel R(a)", MasterSchemas: "rel M(a)",
+			Master: "Nope(x).", Query: "Q(X) :- R(X)"}, "master"},
+		{"bad constraints", ProblemSource{Schemas: "rel R(a)",
+			Constraints: "cc p(X) :- R(X) <= Nope[0]", Query: "Q(X) :- R(X)"}, "constraints"},
+		{"bad query", ProblemSource{Schemas: "rel R(a)", Query: "Q(X) :- Nope(X)"}, "query"},
+	}
+	for _, tc := range cases {
+		_, err := ParseProblem(tc.src)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.part) {
+			t.Errorf("%s: error %q does not name part %q", tc.name, err, tc.part)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+#!/bin/sh
+# End-to-end smoke test for cmd/relserve: build the binary, start it on
+# a random port, POST the Example 2.1 RCDP request, assert the verdict
+# is "complete", check /healthz, then SIGTERM and assert a clean (exit
+# 0) graceful drain. Run via `make server-smoke`.
+set -eu
+
+GO=${GO:-go}
+here=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+repo=$(dirname -- "$here")
+tmp=$(mktemp -d)
+pid=""
+
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "server-smoke: building relserve"
+"$GO" build -o "$tmp/relserve" "$repo/cmd/relserve"
+
+"$tmp/relserve" -addr 127.0.0.1:0 -addr-file "$tmp/addr" >"$tmp/relserve.log" 2>&1 &
+pid=$!
+
+# Wait for the server to publish its bound address.
+i=0
+while [ ! -s "$tmp/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "server-smoke: relserve never wrote its address" >&2
+        cat "$tmp/relserve.log" >&2
+        exit 1
+    fi
+    kill -0 "$pid" 2>/dev/null || {
+        echo "server-smoke: relserve exited early" >&2
+        cat "$tmp/relserve.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+addr=$(cat "$tmp/addr")
+echo "server-smoke: relserve up on $addr"
+
+health=$(curl -fsS "http://$addr/healthz")
+[ "$health" = "ok" ] || { echo "server-smoke: /healthz said '$health'" >&2; exit 1; }
+
+resp=$(curl -fsS -X POST --data-binary @"$here/example21_rcdp.json" "http://$addr/v1/rcdp")
+echo "server-smoke: response: $resp"
+case $resp in
+*'"verdict": "complete"'*) ;;
+*)
+    echo "server-smoke: Example 2.1 RCDP verdict is not 'complete'" >&2
+    exit 1
+    ;;
+esac
+
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+if [ "$rc" != 0 ]; then
+    echo "server-smoke: graceful shutdown exited $rc, want 0" >&2
+    cat "$tmp/relserve.log" >&2
+    exit 1
+fi
+grep -q "drained, exiting" "$tmp/relserve.log" || {
+    echo "server-smoke: drain message missing from log" >&2
+    cat "$tmp/relserve.log" >&2
+    exit 1
+}
+echo "server-smoke: OK (complete verdict, healthy, clean SIGTERM drain)"
