@@ -17,10 +17,12 @@ test:
 
 # Shared-state code paths run under the race detector: the parallel
 # valuation search (core), the admission-controlled serving layer
-# (server), and the cross-request caches it leans on (cq compiled
-# tableaux, cc p(Dm) memoization).
+# (server), the cross-request caches it leans on (cq compiled tableaux,
+# cc p(Dm) memoization), and the interned storage layer (relation: the
+# shared dictionary, its sort-order cache, and the lazy posting-list
+# builds), including the interned-vs-legacy cross-validation suites.
 race:
-	$(GO) test -race ./internal/core/... ./internal/server/... ./internal/cq/... ./internal/cc/...
+	$(GO) test -race ./internal/core/... ./internal/server/... ./internal/cq/... ./internal/cc/... ./internal/relation/...
 
 # End-to-end relserve smoke: random port, one Example 2.1 RCDP request
 # must come back "complete", /healthz must answer, SIGTERM must drain
@@ -32,9 +34,16 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # One iteration of every benchmark in every package: catches bit-rotted
-# benchmark code in CI without paying for real measurement runs.
+# benchmark code in CI without paying for real measurement runs. The
+# relbench smoke runs both storage engines — interned columnar (the
+# default) and the -nointern string-map ablation — so a regression in
+# either representation, or in their agreement, surfaces here.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+	$(GO) build -o /tmp/relbench-smoke ./cmd/relbench
+	/tmp/relbench-smoke -quick -json > /dev/null
+	/tmp/relbench-smoke -quick -json -nointern > /dev/null
+	rm -f /tmp/relbench-smoke
 
 # Sequential-vs-parallel series only (see EXPERIMENTS.md).
 bench-workers:

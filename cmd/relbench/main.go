@@ -8,7 +8,12 @@
 //
 // Usage: relbench [-table 0|1|2] [-quick] [-workers N] [-json] [-noindex]
 //
-//	[-timeout D] [-steps N] [-metrics addr] [-trace file]
+//	[-nointern] [-timeout D] [-steps N] [-metrics addr] [-trace file]
+//
+// -nointern disables the interned columnar storage engine and runs every
+// sweep on the legacy string-map representation (the SetInterning
+// ablation); pair an interned and a -nointern run to measure what
+// dictionary encoding buys end to end.
 //
 // -timeout and -steps govern every timed check (wall-clock deadline and
 // join-row step budget respectively); a check stopped by governance
@@ -36,6 +41,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/reductions"
+	"repro/internal/relation"
 	"repro/internal/sat"
 	"repro/internal/tiling"
 )
@@ -46,6 +52,7 @@ var (
 	checker  core.Checker
 	jsonMode bool
 	noIndex  bool
+	noIntern bool
 	records  []benchRecord
 )
 
@@ -59,6 +66,7 @@ type benchRecord struct {
 	Param       int    `json:"param"`
 	Workers     int    `json:"workers"`
 	NoIndex     bool   `json:"no_index"`
+	Interning   bool   `json:"interning"`
 	DurationNS  int64  `json:"duration_ns"`
 	AllocsPerOp int64  `json:"allocs_per_op"`
 	Agree       *bool  `json:"agree,omitempty"`
@@ -69,7 +77,7 @@ type benchRecord struct {
 func record(table, name string, param int, dur time.Duration, allocs int64, agree *bool, verdict string, reason core.Reason) {
 	records = append(records, benchRecord{
 		Table: table, Name: name, Param: param,
-		Workers: checker.Workers, NoIndex: noIndex,
+		Workers: checker.Workers, NoIndex: noIndex, Interning: !noIntern,
 		DurationNS: dur.Nanoseconds(), AllocsPerOp: allocs, Agree: agree,
 		Verdict: verdict, Reason: reason.String(),
 	})
@@ -99,6 +107,7 @@ func main() {
 	tracePath := flag.String("trace", "", "append JSONL search-trace events to this file")
 	flag.BoolVar(&jsonMode, "json", false, "emit timed sweep results as JSON instead of tables")
 	flag.BoolVar(&noIndex, "noindex", false, "disable the indexed join engine (ablation baseline)")
+	flag.BoolVar(&noIntern, "nointern", false, "disable interned columnar storage (string-map ablation baseline)")
 	flag.Parse()
 	if *metricsAddr != "" {
 		addr, err := obs.Serve(*metricsAddr)
@@ -129,6 +138,7 @@ func main() {
 	checker = core.Checker{Workers: *workers,
 		Budget: core.Budget{Timeout: *timeout, MaxJoinRows: *steps}}
 	cq.SetIndexJoin(!noIndex)
+	relation.SetInterning(!noIntern)
 	if *table == 0 || *table == 1 {
 		if err := tableI(*quick); err != nil {
 			fail(err)

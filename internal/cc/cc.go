@@ -114,12 +114,18 @@ type projCache struct {
 	inst *relation.Instance
 	gen  uint64
 	rhs  map[string]bool
+	// rhsIDs keys the same set on fixed-width interned id-keys over the
+	// shared dictionary, for the integer delta path; nil when the
+	// projected instance uses legacy string storage, which sends the
+	// delta check back to the string engine.
+	rhsIDs map[string]bool
 }
 
-// masterSide returns p(Dm), memoized per (instance, generation). Stores
-// race benignly under concurrent checkers: every store for one key holds
-// the same set, and a lost overwrite merely recomputes later.
-func (c *Constraint) masterSide(dm *relation.Database) map[string]bool {
+// masterCache returns the memoized p(Dm) forms, keyed per (instance,
+// generation). Stores race benignly under concurrent checkers: every
+// store for one key holds the same set, and a lost overwrite merely
+// recomputes later.
+func (c *Constraint) masterCache(dm *relation.Database) *projCache {
 	var in *relation.Instance
 	if !c.P.IsEmptySet() && dm != nil {
 		in = dm.Instance(c.P.Rel)
@@ -130,15 +136,26 @@ func (c *Constraint) masterSide(dm *relation.Database) map[string]bool {
 	}
 	if p := c.pcache.Load(); p != nil && p.inst == in && p.gen == gen {
 		obs.PDmHits.Inc()
-		return p.rhs
+		return p
 	}
 	obs.PDmMisses.Inc()
 	if obs.Tracing() {
 		obs.Emit("pdm_build", map[string]any{"constraint": c.Name, "rel": c.P.Rel})
 	}
-	rhs := c.P.Eval(dm)
-	c.pcache.Store(&projCache{inst: in, gen: gen, rhs: rhs})
-	return rhs
+	pc := &projCache{inst: in, gen: gen, rhs: c.P.Eval(dm)}
+	if in == nil {
+		// Empty or absent master side: the id form is the empty set.
+		pc.rhsIDs = map[string]bool{}
+	} else if ids, ok := in.ProjectIDSet(c.P.Cols); ok {
+		pc.rhsIDs = ids
+	}
+	c.pcache.Store(pc)
+	return pc
+}
+
+// masterSide returns p(Dm) keyed on Tuple.Key (see masterCache).
+func (c *Constraint) masterSide(dm *relation.Database) map[string]bool {
+	return c.masterCache(dm).rhs
 }
 
 // New builds a containment constraint.
@@ -264,15 +281,38 @@ func (c *Constraint) SatisfiedDeltaGate(d, delta, dm *relation.Database, g *quer
 	if !c.Q.Lang().Monotone() {
 		return c.satisfiedUnion(d, delta, dm, g)
 	}
-	rhs := c.masterSide(dm)
+	pc := c.masterCache(dm)
+	var kb []byte
 	for _, t := range c.Q.Tableaux() {
 		violated := false
+		if pc.rhsIDs != nil {
+			// Integer fast path: heads arrive as interned ids and
+			// membership is one fixed-width key probe — no Binding,
+			// HeadTuple or string Key per differential match.
+			handled, err := t.EvalFuncDeltaIDsGate(d, delta, g, func(head []int32) bool {
+				kb = relation.AppendIDKey(kb[:0], head)
+				if !pc.rhsIDs[string(kb)] {
+					violated = true
+					return false
+				}
+				return true
+			})
+			if err != nil {
+				return false, err
+			}
+			if handled {
+				if violated {
+					return false, nil
+				}
+				continue
+			}
+		}
 		err := t.EvalFuncDeltaGate(d, delta, g, func(b query.Binding) bool {
 			h, ok := t.HeadTuple(b)
 			if !ok {
 				return true
 			}
-			if !rhs[h.Key()] {
+			if !pc.rhs[h.Key()] {
 				violated = true
 				return false
 			}

@@ -1,0 +1,105 @@
+package cc
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Cross-validation of constraint checking across the two storage
+// representations: Satisfied and SatisfiedDeltaGate must return the
+// same verdict and charge the gate identical work whether the
+// databases are interned columnar or legacy string maps.
+
+// restoreInterning re-enables interned storage after a test.
+func restoreInterning(t *testing.T) {
+	prev := relation.SetInterning(true)
+	t.Cleanup(func() { relation.SetInterning(prev) })
+}
+
+// rebuildUnderCurrentMode reconstructs a database in fresh storage
+// under the current SetInterning mode.
+func rebuildUnderCurrentMode(t *testing.T, db *relation.Database) *relation.Database {
+	t.Helper()
+	names := db.Relations()
+	ss := make([]*relation.Schema, 0, len(names))
+	for _, name := range names {
+		ss = append(ss, db.Schema(name))
+	}
+	nd := relation.NewDatabase(ss...)
+	for _, name := range names {
+		for _, tup := range db.Instance(name).Tuples() {
+			if err := nd.Add(name, tup); err != nil {
+				t.Fatalf("rebuild %s: %v", name, err)
+			}
+		}
+	}
+	return nd
+}
+
+// randomCRMCase draws a small random CRM-shaped instance: a base D, a
+// delta over the same schemas, and a master DCust.
+func randomCRMCase(rng *rand.Rand) (d, delta, dm *relation.Database) {
+	d, dm = crmSchemas()
+	delta, _ = crmSchemas()
+	ids := []string{"c1", "c2", "c3"}
+	ccs := []string{"01", "44"}
+	id := func() string { return ids[rng.Intn(len(ids))] }
+	for i, n := 0, rng.Intn(4); i < n; i++ {
+		d.MustAdd("Cust", id(), "n", ccs[rng.Intn(2)], "a", "p")
+	}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		d.MustAdd("Supt", "e1", "d1", id())
+	}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		delta.MustAdd("Cust", id(), "n", ccs[rng.Intn(2)], "a", "p")
+	}
+	if rng.Intn(2) == 0 {
+		delta.MustAdd("Supt", "e2", "d1", id())
+	}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		dm.MustAdd("DCust", id(), "n", "a", "p")
+	}
+	return d, delta, dm
+}
+
+func TestSatisfiedInternedMatchesLegacy(t *testing.T) {
+	restoreInterning(t)
+	ctx := context.Background()
+	set := NewSet(phi0(), AtMostK("k1", "Supt", 3, []int{2}, 0, 2))
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 250; trial++ {
+		relation.SetInterning(true)
+		d, delta, dm := randomCRMCase(rng)
+
+		run := func() (bool, bool, int64, int64) {
+			full, err := set.Satisfied(d.Union(delta), dm)
+			if err != nil {
+				t.Fatalf("trial %d: Satisfied: %v", trial, err)
+			}
+			g := query.NewGate(ctx, 1<<40, 1<<40)
+			inc, err := set.SatisfiedDeltaGate(d, delta, dm, g)
+			if err != nil {
+				t.Fatalf("trial %d: SatisfiedDeltaGate: %v", trial, err)
+			}
+			return full, inc, g.Rows(), g.Tuples()
+		}
+
+		ifull, iinc, irows, ituples := run()
+		relation.SetInterning(false)
+		d, delta, dm = rebuildUnderCurrentMode(t, d), rebuildUnderCurrentMode(t, delta), rebuildUnderCurrentMode(t, dm)
+		lfull, linc, lrows, ltuples := run()
+
+		if ifull != lfull || iinc != linc {
+			t.Fatalf("trial %d: verdicts diverge: interned full=%v inc=%v legacy full=%v inc=%v\nD:\n%v\ndelta:\n%v",
+				trial, ifull, iinc, lfull, linc, d, delta)
+		}
+		if irows != lrows || ituples != ltuples {
+			t.Fatalf("trial %d: gate counters diverge: interned rows=%d tuples=%d legacy rows=%d tuples=%d",
+				trial, irows, ituples, lrows, ltuples)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/mdm"
+	"repro/internal/relation"
+)
+
+// The interned columnar storage engine (relation.SetInterning) must be
+// a pure representation change: verdicts, witnesses and — for the
+// sequential engines — the full BudgetStats counters are bit-identical
+// with interning on and off, whichever join engine evaluates the
+// valuations. These tests pin that contract across Workers=1/8 and
+// indexed/noindex, on randomized instances; the Makefile race target
+// runs them under -race, which also exercises the shared dictionary
+// and the concurrent lazy posting-list builds.
+
+// restoreInterning re-enables interned storage after a test.
+func restoreInterning(t *testing.T) {
+	prev := relation.SetInterning(true)
+	t.Cleanup(func() { relation.SetInterning(prev) })
+}
+
+// rebuildDB reconstructs a database's contents in fresh storage under
+// the *current* SetInterning mode. Storage representation is fixed when
+// an instance is constructed, so cross-validating the two engines
+// requires rebuilding the inputs under each toggle rather than flipping
+// the switch over live instances.
+func rebuildDB(t *testing.T, db *relation.Database) *relation.Database {
+	t.Helper()
+	if db == nil {
+		return nil
+	}
+	names := db.Relations()
+	ss := make([]*relation.Schema, 0, len(names))
+	for _, name := range names {
+		ss = append(ss, db.Schema(name))
+	}
+	nd := relation.NewDatabase(ss...)
+	for _, name := range names {
+		for _, tup := range db.Instance(name).Tuples() {
+			if err := nd.Add(name, tup); err != nil {
+				t.Fatalf("rebuild %s: %v", name, err)
+			}
+		}
+	}
+	return nd
+}
+
+// sameBudget compares the deterministic components of two BudgetStats.
+// Elapsed is wall-clock time and is excluded.
+func sameBudget(a, b BudgetStats) bool {
+	return a.Valuations == b.Valuations && a.JoinRows == b.JoinRows && a.Tuples == b.Tuples
+}
+
+func TestRCDPInternedMatchesLegacy(t *testing.T) {
+	restoreInterning(t)
+	restoreIndexJoin(t)
+	queries := microQueries()
+	sets := microConstraintSets()
+	ctx := context.Background()
+	for _, indexed := range []bool{true, false} {
+		cq.SetIndexJoin(indexed)
+		for _, workers := range []int{1, 8} {
+			rng := rand.New(rand.NewSource(73))
+			ck := &Checker{Workers: workers}
+			trials := 0
+			for trial := 0; trial < 400 && trials < 150; trial++ {
+				q := queries[rng.Intn(len(queries))]
+				cs := sets[rng.Intn(len(sets))]
+				relation.SetInterning(true)
+				d := randomMicroDB(rng)
+				if ok, err := cs.v.Satisfied(d, cs.dm); err != nil || !ok {
+					continue
+				}
+				trials++
+				ir, ierr := ck.RCDPCtx(ctx, q, d, cs.dm, cs.v)
+				relation.SetInterning(false)
+				ld, ldm := rebuildDB(t, d), rebuildDB(t, cs.dm)
+				lr, lerr := ck.RCDPCtx(ctx, q, ld, ldm, cs.v)
+				if (ierr == nil) != (lerr == nil) {
+					t.Fatalf("indexed=%v workers=%d trial %d (%s/%s): interned err=%v legacy err=%v",
+						indexed, workers, trial, cs.name, q, ierr, lerr)
+				}
+				if ierr != nil {
+					continue
+				}
+				if !sameRCDP(ir, lr) {
+					t.Fatalf("indexed=%v workers=%d trial %d (%s/%s): engines disagree\nD:\n%v\ninterned: %+v\nlegacy: %+v",
+						indexed, workers, trial, cs.name, q, d, ir, lr)
+				}
+				// The valuation search enumerates the same candidates in
+				// the same order whichever representation stores the
+				// relations, so the sequential work counters must match
+				// exactly — not just the verdict.
+				if workers == 1 && !sameBudget(ir.Stats, lr.Stats) {
+					t.Fatalf("indexed=%v workers=1 trial %d (%s/%s): budgets diverge\ninterned: %+v\nlegacy: %+v",
+						indexed, trial, cs.name, q, ir.Stats, lr.Stats)
+				}
+			}
+			if trials < 100 {
+				t.Fatalf("indexed=%v workers=%d: too few partially closed trials: %d", indexed, workers, trials)
+			}
+		}
+	}
+}
+
+// TestCRMInternedMatchesLegacy runs the realistic CRM scenario (the
+// benchmark workload) with interning on and off: a medium-sized
+// deterministic instance where the columnar fast paths — posting-list
+// joins, the interned active-domain scan, delta pooling — all engage.
+func TestCRMInternedMatchesLegacy(t *testing.T) {
+	restoreInterning(t)
+	ctx := context.Background()
+	for _, completeness := range []float64{1.0, 0.8} {
+		cfg := mdm.DefaultConfig()
+		cfg.DomesticCustomers = 60
+		cfg.Employees = 6
+		cfg.Completeness = completeness
+		relation.SetInterning(true)
+		s := mdm.Generate(cfg)
+		v := mdmSet(cfg)
+		q := mdm.Q0("908")
+		relation.SetInterning(false)
+		ld, ldm := rebuildDB(t, s.D), rebuildDB(t, s.Dm)
+		for _, workers := range []int{1, 8} {
+			ck := &Checker{Workers: workers}
+			relation.SetInterning(true)
+			ir, ierr := ck.RCDPCtx(ctx, q, s.D, s.Dm, v)
+			relation.SetInterning(false)
+			lr, lerr := ck.RCDPCtx(ctx, q, ld, ldm, v)
+			if ierr != nil || lerr != nil {
+				t.Fatalf("completeness=%.1f workers=%d: interned err=%v legacy err=%v",
+					completeness, workers, ierr, lerr)
+			}
+			if !sameRCDP(ir, lr) {
+				t.Fatalf("completeness=%.1f workers=%d: engines disagree\ninterned: %+v\nlegacy: %+v",
+					completeness, workers, ir, lr)
+			}
+			if workers == 1 && !sameBudget(ir.Stats, lr.Stats) {
+				t.Fatalf("completeness=%.1f workers=1: budgets diverge\ninterned: %+v\nlegacy: %+v",
+					completeness, ir.Stats, lr.Stats)
+			}
+		}
+	}
+}

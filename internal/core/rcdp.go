@@ -288,7 +288,11 @@ func rcdpWitness(t *cq.Tableau, di int, b query.Binding, schemas map[string]*rel
 		return nil, err
 	}
 	if !sat {
-		return nil, nil // extension violates V; keep searching
+		// Extension violates V; keep searching. The fragment is dead —
+		// nothing above retains a reference — so recycle its storage
+		// for the next valuation.
+		t.ReleaseApplied(delta)
+		return nil, nil
 	}
 	return &RCDPResult{
 		Complete:  false,

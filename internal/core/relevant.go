@@ -59,10 +59,13 @@ func computeRelevantValues(q interface{ Constants() []relation.Value }, v *cc.Se
 	}
 
 	// headFeeds collects, per group root (resolved later), the master
-	// values feeding it through constraint heads.
+	// values feeding it through constraint heads — as a dictionary-id
+	// set when the master instance is interned, as sorted values
+	// otherwise.
 	type feed struct {
 		anchor pos
 		vals   []relation.Value
+		set    []uint64
 	}
 	var feeds []feed
 
@@ -104,6 +107,14 @@ func computeRelevantValues(q interface{ Constants() []relation.Value }, v *cc.Se
 							if len(ps) == 0 {
 								continue
 							}
+							if ids := in.InternedCol(c.P.Cols[hi]); ids != nil && in.InternDict() == relation.Shared() {
+								var set []uint64
+								for _, id := range ids {
+									set = relation.SetIDBit(set, id)
+								}
+								feeds = append(feeds, feed{anchor: ps[0], set: set})
+								continue
+							}
 							seen := make(map[relation.Value]bool)
 							for _, tu := range in.Project([]int{c.P.Cols[hi]}) {
 								seen[tu[0]] = true
@@ -116,8 +127,12 @@ func computeRelevantValues(q interface{ Constants() []relation.Value }, v *cc.Se
 		}
 	}
 
-	// Collect database values per group.
+	// Collect database values per group: interned instances contribute
+	// dictionary-id sets (no string keys, sorted later by one scan of
+	// the dictionary's sort permutation), legacy instances contribute
+	// value maps; the two merge when modes mix.
 	groupVals := make(map[pos]map[relation.Value]bool)
+	groupSets := make(map[pos][]uint64)
 	addVal := func(root pos, val relation.Value) {
 		m := groupVals[root]
 		if m == nil {
@@ -135,6 +150,14 @@ func computeRelevantValues(q interface{ Constants() []relation.Value }, v *cc.Se
 					continue // position untouched by V: no outside comparisons
 				}
 				root := find(p)
+				if ids := in.InternedCol(col); ids != nil && in.InternDict() == relation.Shared() {
+					set := groupSets[root]
+					for _, id := range ids {
+						set = relation.SetIDBit(set, id)
+					}
+					groupSets[root] = set
+					continue
+				}
 				for _, t := range in.Tuples() {
 					addVal(root, t[col])
 				}
@@ -143,12 +166,24 @@ func computeRelevantValues(q interface{ Constants() []relation.Value }, v *cc.Se
 	}
 	for _, f := range feeds {
 		root := find(f.anchor)
+		if f.set != nil {
+			set := groupSets[root]
+			for w, word := range f.set {
+				for len(set) <= w {
+					set = append(set, 0)
+				}
+				set[w] |= word
+			}
+			groupSets[root] = set
+			continue
+		}
 		for _, val := range f.vals {
 			addVal(root, val)
 		}
 	}
 
 	rv := &relevantValues{perPosition: make(map[string]map[int][]relation.Value)}
+	dict := relation.Shared()
 	for p := range parent {
 		root := find(p)
 		m := rv.perPosition[p.rel]
@@ -156,7 +191,14 @@ func computeRelevantValues(q interface{ Constants() []relation.Value }, v *cc.Se
 			m = make(map[int][]relation.Value)
 			rv.perPosition[p.rel] = m
 		}
-		m[p.col] = relation.SortedValues(groupVals[root])
+		var vals []relation.Value
+		if set := groupSets[root]; set != nil {
+			vals = dict.SortedIDValues(set)
+		}
+		if gm := groupVals[root]; gm != nil {
+			vals = mergeSortedValues(vals, relation.SortedValues(gm))
+		}
+		m[p.col] = vals
 	}
 	seen := make(map[relation.Value]bool)
 	if q != nil {
@@ -179,16 +221,62 @@ func computeRelevantValues(q interface{ Constants() []relation.Value }, v *cc.Se
 // must fall back to the full constant pool (never needed — the analysis
 // is total — but kept for safety).
 func (rv *relevantValues) candidatesFor(positions []varPosition) []relation.Value {
-	seen := make(map[relation.Value]bool, len(rv.base))
-	for _, v := range rv.base {
-		seen[v] = true
+	lists := make([][]relation.Value, 0, len(positions)+1)
+	if len(rv.base) > 0 {
+		lists = append(lists, rv.base)
 	}
+outer:
 	for _, p := range positions {
-		for _, v := range rv.perPosition[p.Rel][p.Col] {
-			seen[v] = true
+		l := rv.perPosition[p.Rel][p.Col]
+		if len(l) == 0 {
+			continue
+		}
+		// Positions in one linked group share one slice; merge it once.
+		for _, have := range lists {
+			if &have[0] == &l[0] {
+				continue outer
+			}
+		}
+		lists = append(lists, l)
+	}
+	out := []relation.Value(nil)
+	for _, l := range lists {
+		out = mergeSortedValues(out, l)
+	}
+	if out == nil {
+		out = []relation.Value{}
+	}
+	return out
+}
+
+// mergeSortedValues merges two ascending, duplicate-free value slices
+// into a fresh ascending, duplicate-free slice — the allocation-light
+// replacement for unioning through a map and re-sorting.
+func mergeSortedValues(a, b []relation.Value) []relation.Value {
+	if len(a) == 0 {
+		return append([]relation.Value(nil), b...)
+	}
+	if len(b) == 0 {
+		return append([]relation.Value(nil), a...)
+	}
+	out := make([]relation.Value, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i, j = i+1, j+1
 		}
 	}
-	return relation.SortedValues(seen)
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }
 
 // applyRelevant installs restricted candidate sets for every

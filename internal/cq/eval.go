@@ -63,6 +63,9 @@ func (t *Tableau) Eval(d *relation.Database) []relation.Tuple {
 
 // EvalGate is Eval under gate governance (see CQ.EvalGate).
 func (t *Tableau) EvalGate(d *relation.Database, g *query.Gate) ([]relation.Tuple, error) {
+	if out, handled, err := t.evalGateInterned(d, g); handled {
+		return out, err
+	}
 	results := make(map[string]relation.Tuple)
 	err := t.EvalFuncGate(d, g, func(b query.Binding) bool {
 		if h, ok := t.HeadTuple(b); ok {
@@ -101,6 +104,9 @@ func (t *Tableau) EvalFuncGate(d *relation.Database, g *query.Gate, fn func(quer
 			fn(b)
 		}
 		return nil
+	}
+	if handled, err := t.evalFuncInterned(d, g, fn); handled {
+		return err
 	}
 	order := t.planOrder(d)
 	b := make(query.Binding, len(t.Vars))
@@ -405,6 +411,9 @@ func (t *Tableau) EvalFuncDelta(d, delta *relation.Database, fn func(query.Bindi
 func (t *Tableau) EvalFuncDeltaGate(d, delta *relation.Database, g *query.Gate, fn func(query.Binding) bool) error {
 	if len(t.Templates) == 0 {
 		return nil // no templates: answers cannot change
+	}
+	if handled, err := t.evalFuncDeltaInterned(d, delta, g, fn); handled {
+		return err
 	}
 	gs := gate(g)
 	var es evalStats

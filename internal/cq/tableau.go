@@ -3,6 +3,7 @@ package cq
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/obs"
@@ -32,6 +33,18 @@ type Tableau struct {
 	Head      []query.Term    // rewritten output summary u_Q
 	Diseqs    []query.EqAtom  // remaining ≠ conditions (rewritten)
 	Vars      []string        // sorted distinct variables of the tableau
+
+	// ip is the compiled slot plan of the interned join engine
+	// (ieval.go); nil on hand-built tableaux, which then evaluate on
+	// the legacy string path.
+	ip *iplan
+
+	// applyPool recycles the database fragments Apply builds: the
+	// decision procedures instantiate the templates once per candidate
+	// valuation and discard the result almost every time, so callers
+	// that know a fragment is dead hand it back via ReleaseApplied and
+	// the next Apply refills it in place.
+	applyPool sync.Pool
 }
 
 // ErrUnsatisfiable is returned by BuildTableau for queries whose
@@ -188,6 +201,7 @@ func BuildTableau(q *CQ) (*Tableau, error) {
 		}
 	}
 	sort.Strings(t.Vars)
+	t.ip = t.buildIPlan()
 	return t, nil
 }
 
@@ -201,19 +215,24 @@ func (t *Tableau) AsCQ() *CQ {
 // a database fragment μ(T_Q) over the given schemas. Unbound variables
 // cause an error.
 func (t *Tableau) Apply(b query.Binding, schemas map[string]*relation.Schema) (*relation.Database, error) {
-	var ss []*relation.Schema
-	seen := make(map[string]bool)
+	ss := make([]*relation.Schema, 0, len(t.Templates))
+outer:
 	for _, a := range t.Templates {
-		if !seen[a.Rel] {
-			s := schemas[a.Rel]
-			if s == nil {
-				return nil, fmt.Errorf("cq: unknown relation %s", a.Rel)
+		for _, s := range ss {
+			if s.Name == a.Rel {
+				continue outer
 			}
-			ss = append(ss, s)
-			seen[a.Rel] = true
 		}
+		s := schemas[a.Rel]
+		if s == nil {
+			return nil, fmt.Errorf("cq: unknown relation %s", a.Rel)
+		}
+		ss = append(ss, s)
 	}
-	db := relation.NewDatabase(ss...)
+	db := t.pooledDatabase(ss)
+	if db == nil {
+		db = relation.NewDatabase(ss...)
+	}
 	for _, a := range t.Templates {
 		tup, ok := a.Ground(b)
 		if !ok {
@@ -224,6 +243,39 @@ func (t *Tableau) Apply(b query.Binding, schemas map[string]*relation.Schema) (*
 		}
 	}
 	return db, nil
+}
+
+// pooledDatabase returns a recycled, emptied fragment matching the
+// schema list exactly — same relations, same schema objects, same
+// storage mode as a fresh build would use — or nil when the pool has
+// nothing usable (the mismatch case only arises when one tableau is
+// applied under different schema maps, or across a SetInterning flip).
+func (t *Tableau) pooledDatabase(ss []*relation.Schema) *relation.Database {
+	db, _ := t.applyPool.Get().(*relation.Database)
+	if db == nil {
+		return nil
+	}
+	if len(db.Relations()) != len(ss) {
+		return nil
+	}
+	for _, s := range ss {
+		in := db.Instance(s.Name)
+		if in == nil || in.Schema != s || in.Interned() != relation.InterningEnabled() {
+			return nil
+		}
+	}
+	db.Reset()
+	return db
+}
+
+// ReleaseApplied hands a database obtained from Apply back to the
+// tableau's scratch pool. Callers must be done with every reference
+// into it — instances, tuples, index views — because the next Apply
+// reuses its storage in place.
+func (t *Tableau) ReleaseApplied(db *relation.Database) {
+	if db != nil {
+		t.applyPool.Put(db)
+	}
 }
 
 // HeadTuple instantiates the output summary u_Q under a binding.

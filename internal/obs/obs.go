@@ -84,9 +84,15 @@ var (
 	PDmMisses = NewCounter("relcomp_cc_pdm_cache_misses_total",
 		"master-side projection cache misses")
 	// IndexBuilds counts secondary column-index materializations in the
-	// relation substrate.
+	// relation substrate (legacy hash indexes and interned posting
+	// columns alike).
 	IndexBuilds = NewCounter("relcomp_relation_index_builds_total",
 		"column hash-index builds")
+	// DictSize gauges the number of distinct values interned in the
+	// process-wide dictionary (relation.Shared). It only grows: ids are
+	// never reused.
+	DictSize = NewGauge("relcomp_relation_dict_values",
+		"distinct values in the shared interning dictionary")
 	// Valuations counts candidate valuations inspected by the
 	// completeness search across all disjuncts and checks.
 	Valuations = NewCounter("relcomp_core_valuations_total",

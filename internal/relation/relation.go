@@ -244,10 +244,34 @@ func (t Tuple) Project(cols []int) Tuple {
 	return out
 }
 
-// Instance is a finite set of tuples over one schema.
+// Instance is a finite set of tuples over one schema. It has two
+// storage modes, fixed at construction time by the SetInterning toggle:
+//
+//   - Interned (the default): values are interned into dense int32 ids
+//     through the process-wide dictionary and rows are stored as column
+//     slices (struct-of-arrays); duplicate detection keys on the
+//     fixed-width id encoding and secondary indexes are sorted-rank
+//     posting lists (column.go). This is the fast path the integer
+//     join engine in internal/cq consumes.
+//   - Legacy: the original string-keyed tuple map with per-column hash
+//     indexes, kept alive behind SetInterning(false) as the
+//     correctness oracle for the columnar engine.
+//
+// Both modes present the identical public surface and identical
+// deterministic orders.
 type Instance struct {
 	Schema *Schema
+
+	// Legacy string-map storage (dict == nil): Tuple.Key → tuple.
 	tuples map[string]Tuple
+
+	// Interned columnar storage (dict != nil): cols holds one dense id
+	// column per attribute, rows maps a tuple's fixed-width id-key to
+	// its row number, n counts rows.
+	dict *Dict
+	cols [][]int32
+	rows map[string]int32
+	n    int
 
 	// sorted caches the deterministic tuple order; nil when dirty.
 	sorted []Tuple
@@ -257,12 +281,16 @@ type Instance struct {
 	gen uint64
 
 	// indexes publishes the lazily-built secondary hash indexes for the
-	// generation recorded in indexSet.gen. Index sets are built on
-	// demand, atomically swapped in, and never mutated after a column
-	// slot is published, so concurrent readers of a quiescent instance
-	// need no locks. Mutating an instance while others read it remains
-	// forbidden, exactly as for the sorted cache.
+	// generation recorded in indexSet.gen (legacy mode). Index sets are
+	// built on demand, atomically swapped in, and never mutated after a
+	// column slot is published, so concurrent readers of a quiescent
+	// instance need no locks. Mutating an instance while others read it
+	// remains forbidden, exactly as for the sorted cache.
 	indexes atomic.Pointer[indexSet]
+
+	// postings is the interned-mode counterpart of indexes: the
+	// CAS-published posting-list index of column.go.
+	postings atomic.Pointer[postingSet]
 }
 
 // indexSet holds one generation's per-column indexes. cols has one slot
@@ -279,10 +307,68 @@ type colIndex struct {
 	buckets map[Value][]Tuple
 }
 
-// NewInstance returns an empty instance of the schema.
+// NewInstance returns an empty instance of the schema. Its storage
+// mode (interned columnar vs. legacy string map) is fixed here by the
+// current SetInterning toggle and never changes afterwards.
 func NewInstance(s *Schema) *Instance {
+	if InterningEnabled() {
+		// rows stays nil until the instance outgrows linear dedup:
+		// the decision procedures build one tiny Δ-instance per
+		// valuation, and for those the map (and its string keys)
+		// never needs to exist.
+		return &Instance{
+			Schema: s,
+			dict:   shared,
+			cols:   make([][]int32, s.Arity()),
+		}
+	}
 	return &Instance{Schema: s, tuples: make(map[string]Tuple)}
 }
+
+// linearRowsMax is the row count up to which an interned instance
+// resolves duplicates by scanning its columns instead of keeping the
+// id-key row map.
+const linearRowsMax = 8
+
+// rowOf returns the row holding exactly ids, or -1. Linear scan for
+// map-less small instances.
+func (in *Instance) rowOf(ids []int32) int32 {
+outer:
+	for r := 0; r < in.n; r++ {
+		for c := range in.cols {
+			if in.cols[c][r] != ids[c] {
+				continue outer
+			}
+		}
+		return int32(r)
+	}
+	return -1
+}
+
+// buildRows materializes the id-key row map from the columns when the
+// instance outgrows linear dedup.
+func (in *Instance) buildRows() {
+	in.rows = make(map[string]int32, in.n+1)
+	var kb [4 * inlineArity]byte
+	kbuf := kb[:0]
+	if len(in.cols) > inlineArity {
+		kbuf = make([]byte, 0, 4*len(in.cols))
+	}
+	for r := 0; r < in.n; r++ {
+		kbuf = kbuf[:0]
+		for c := range in.cols {
+			kbuf = appendID(kbuf, in.cols[c][r])
+		}
+		in.rows[string(kbuf)] = int32(r)
+	}
+}
+
+// Interned reports whether the instance uses interned columnar storage.
+func (in *Instance) Interned() bool { return in.dict != nil }
+
+// InternDict returns the dictionary backing an interned instance, or
+// nil for legacy storage.
+func (in *Instance) InternDict() *Dict { return in.dict }
 
 // Add inserts a tuple, validating arity and finite-domain membership.
 // Adding a duplicate is a no-op.
@@ -296,6 +382,10 @@ func (in *Instance) Add(t Tuple) error {
 				in.Schema.Name, in.Schema.Attrs[i].Name, v, in.Schema.Attrs[i].Domain)
 		}
 	}
+	if in.dict != nil {
+		in.addInterned(t)
+		return nil
+	}
 	k := t.Key()
 	if _, dup := in.tuples[k]; !dup {
 		in.tuples[k] = t.Clone()
@@ -303,6 +393,42 @@ func (in *Instance) Add(t Tuple) error {
 		in.gen++
 	}
 	return nil
+}
+
+// addInterned interns the tuple's values and appends a row unless the
+// id-key already exists. The id and key scratch buffers live on the
+// stack for ordinary arities, so a duplicate insert allocates nothing.
+func (in *Instance) addInterned(t Tuple) {
+	var ib [inlineArity]int32
+	ids := ib[:0]
+	if len(t) > inlineArity {
+		ids = make([]int32, 0, len(t))
+	}
+	for _, v := range t {
+		ids = append(ids, in.dict.Intern(v))
+	}
+	if in.rows == nil {
+		if in.rowOf(ids) >= 0 {
+			return
+		}
+		if in.n >= linearRowsMax {
+			in.buildRows()
+		}
+	}
+	if in.rows != nil {
+		var kb [4 * inlineArity]byte
+		key := AppendIDKey(kb[:0], ids)
+		if _, dup := in.rows[string(key)]; dup {
+			return
+		}
+		in.rows[string(key)] = int32(in.n)
+	}
+	for c := range in.cols {
+		in.cols[c] = append(in.cols[c], ids[c])
+	}
+	in.n++
+	in.sorted = nil
+	in.gen++
 }
 
 // MustAdd is Add that panics on error; for literals in tests/examples.
@@ -314,6 +440,10 @@ func (in *Instance) MustAdd(t Tuple) {
 
 // Remove deletes a tuple if present.
 func (in *Instance) Remove(t Tuple) {
+	if in.dict != nil {
+		in.removeInterned(t)
+		return
+	}
 	k := t.Key()
 	if _, ok := in.tuples[k]; ok {
 		delete(in.tuples, k)
@@ -322,24 +452,150 @@ func (in *Instance) Remove(t Tuple) {
 	}
 }
 
+// removeInterned deletes a row by swapping the last row into its place
+// (row numbers carry no ordering — deterministic order lives in the
+// posting index's rank permutation, rebuilt per generation).
+func (in *Instance) removeInterned(t Tuple) {
+	if len(t) != len(in.cols) {
+		return
+	}
+	var ib [inlineArity]int32
+	ids := ib[:0]
+	if len(t) > inlineArity {
+		ids = make([]int32, 0, len(t))
+	}
+	for _, v := range t {
+		id, ok := in.dict.ID(v)
+		if !ok {
+			return
+		}
+		ids = append(ids, id)
+	}
+	var row int32
+	var kb [4 * inlineArity]byte
+	if in.rows == nil {
+		if row = in.rowOf(ids); row < 0 {
+			return
+		}
+	} else {
+		key := AppendIDKey(kb[:0], ids)
+		r, ok := in.rows[string(key)]
+		if !ok {
+			return
+		}
+		row = r
+		delete(in.rows, string(key))
+	}
+	last := int32(in.n - 1)
+	if row != last {
+		mk := kb[:0] // scratch no longer needed: rebuild as the moved row's key
+		for c := range in.cols {
+			in.cols[c][row] = in.cols[c][last]
+			mk = appendID(mk, in.cols[c][row])
+		}
+		if in.rows != nil {
+			in.rows[string(mk)] = row
+		}
+	}
+	for c := range in.cols {
+		in.cols[c] = in.cols[c][:last]
+	}
+	in.n--
+	in.sorted = nil
+	in.gen++
+}
+
+// Reset empties the instance in place, keeping its storage mode and —
+// in interned mode — its column capacity, so a pooled scratch instance
+// refills without reallocating. It counts as a mutation: any
+// previously obtained view or cache is invalidated, and the usual
+// no-readers-during-mutation rule applies.
+func (in *Instance) Reset() {
+	if in.dict != nil {
+		for c := range in.cols {
+			in.cols[c] = in.cols[c][:0]
+		}
+		in.rows = nil
+		in.n = 0
+	} else {
+		clear(in.tuples)
+	}
+	in.sorted = nil
+	in.gen++
+}
+
+// Reset empties every relation of the database in place; see
+// Instance.Reset.
+func (d *Database) Reset() {
+	for _, in := range d.rels {
+		in.Reset()
+	}
+}
+
 // Generation returns the mutation counter. Two reads returning the same
 // value bracket a span with no successful Add/Remove, so any cache built
 // in between is still valid.
 func (in *Instance) Generation() uint64 { return in.gen }
 
-// Contains reports tuple membership.
+// Contains reports tuple membership. It is read-only in both storage
+// modes (scratch buffers are stack-local), so concurrent readers of a
+// quiescent instance may call it freely.
 func (in *Instance) Contains(t Tuple) bool {
+	if in.dict != nil {
+		if len(t) != len(in.cols) {
+			return false
+		}
+		var ib [inlineArity]int32
+		ids := ib[:0]
+		if len(t) > inlineArity {
+			ids = make([]int32, 0, len(t))
+		}
+		for _, v := range t {
+			id, ok := in.dict.ID(v)
+			if !ok {
+				return false
+			}
+			ids = append(ids, id)
+		}
+		if in.rows == nil {
+			return in.rowOf(ids) >= 0
+		}
+		var kb [4 * inlineArity]byte
+		key := AppendIDKey(kb[:0], ids)
+		_, ok := in.rows[string(key)]
+		return ok
+	}
 	_, ok := in.tuples[t.Key()]
 	return ok
 }
 
 // Len returns the number of tuples.
-func (in *Instance) Len() int { return len(in.tuples) }
+func (in *Instance) Len() int {
+	if in.dict != nil {
+		return in.n
+	}
+	return len(in.tuples)
+}
 
 // Tuples returns all tuples in deterministic (lexicographic) order.
 // The returned slice is a shared cache: callers must not modify it.
 func (in *Instance) Tuples() []Tuple {
 	if in.sorted == nil {
+		if in.dict != nil {
+			ps := in.ensurePostings()
+			vals := in.dict.Snapshot()
+			arity := len(in.cols)
+			out := make([]Tuple, in.n)
+			for k, r := range ps.rank {
+				t := make(Tuple, arity)
+				for c := 0; c < arity; c++ {
+					t[c] = vals[in.cols[c][r]]
+				}
+				out[k] = t
+			}
+			in.sorted = out
+			return in.sorted
+		}
 		out := make([]Tuple, 0, len(in.tuples))
 		for _, t := range in.tuples {
 			out = append(out, t)
@@ -360,6 +616,9 @@ func (in *Instance) Warm() { in.Tuples() }
 // first use and invalidated by Add/Remove via the generation counter.
 // The returned slice is shared: callers must not modify it.
 func (in *Instance) Lookup(col int, v Value) []Tuple {
+	if in.dict != nil {
+		return in.lookupInterned(col, v)
+	}
 	ci := in.index(col)
 	if ci == nil {
 		return nil
@@ -372,6 +631,12 @@ func (in *Instance) Lookup(col int, v Value) []Tuple {
 // the cost-based join planner: an equality probe on col is expected to
 // match about Len/Distinct tuples.
 func (in *Instance) Distinct(col int) int {
+	if in.dict != nil {
+		if col < 0 || col >= len(in.cols) {
+			return 0
+		}
+		return in.IDs().Distinct(col)
+	}
 	ci := in.index(col)
 	if ci == nil {
 		return 0
@@ -425,26 +690,90 @@ func (in *Instance) buildColIndex(col int) *colIndex {
 	return &colIndex{buckets: buckets}
 }
 
-// Clone returns a deep copy sharing the schema.
+// Clone returns a deep copy sharing the schema (and, in interned mode,
+// the dictionary). The copy keeps the source's storage mode regardless
+// of the current SetInterning toggle.
 func (in *Instance) Clone() *Instance {
-	cp := NewInstance(in.Schema)
+	if in.dict != nil {
+		cp := &Instance{
+			Schema: in.Schema,
+			dict:   in.dict,
+			cols:   make([][]int32, len(in.cols)),
+			n:      in.n,
+		}
+		for c := range in.cols {
+			cp.cols[c] = append([]int32(nil), in.cols[c]...)
+		}
+		if in.rows != nil {
+			cp.rows = make(map[string]int32, len(in.rows))
+			for k, r := range in.rows {
+				cp.rows[k] = r
+			}
+		}
+		return cp
+	}
+	cp := &Instance{Schema: in.Schema, tuples: make(map[string]Tuple, len(in.tuples))}
 	for k, t := range in.tuples {
 		cp.tuples[k] = t
 	}
 	return cp
 }
 
-// SubsetOf reports whether every tuple of in occurs in o.
+// forEach visits every tuple in unspecified order without touching any
+// shared cache, so it is safe on instances read concurrently.
+func (in *Instance) forEach(fn func(Tuple) bool) {
+	if in.dict != nil {
+		vals := in.dict.Snapshot()
+		arity := len(in.cols)
+		for r := 0; r < in.n; r++ {
+			t := make(Tuple, arity)
+			for c := 0; c < arity; c++ {
+				t[c] = vals[in.cols[c][r]]
+			}
+			if !fn(t) {
+				return
+			}
+		}
+		return
+	}
+	for _, t := range in.tuples {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// SubsetOf reports whether every tuple of in occurs in o. Two interned
+// instances compare by id-keys directly (they share the process-wide
+// dictionary); mixed modes fall back to tuple membership.
 func (in *Instance) SubsetOf(o *Instance) bool {
 	if in.Len() > o.Len() {
 		return false
 	}
-	for k := range in.tuples {
-		if _, ok := o.tuples[k]; !ok {
-			return false
+	switch {
+	case in.dict != nil && in.dict == o.dict && in.rows != nil && o.rows != nil:
+		for k := range in.rows {
+			if _, ok := o.rows[k]; !ok {
+				return false
+			}
 		}
+		return true
+	case in.dict == nil && o.dict == nil:
+		for k := range in.tuples {
+			if _, ok := o.tuples[k]; !ok {
+				return false
+			}
+		}
+		return true
 	}
-	return true
+	ok := true
+	in.forEach(func(t Tuple) bool {
+		if !o.Contains(t) {
+			ok = false
+		}
+		return ok
+	})
+	return ok
 }
 
 // Equal reports set equality of the two instances.
@@ -453,7 +782,35 @@ func (in *Instance) Equal(o *Instance) bool {
 }
 
 // Project returns the distinct projections of all tuples onto cols.
+// On interned storage duplicate detection reuses the interned ids (one
+// fixed-width key probe per row against a reused scratch buffer)
+// instead of materializing a projected tuple and rebuilding its string
+// key per row — the former dedup hot spot of the master-side
+// projections.
 func (in *Instance) Project(cols []int) []Tuple {
+	if in.dict != nil {
+		seen := make(map[string]bool, in.n)
+		vals := in.dict.Snapshot()
+		out := make([]Tuple, 0, 8)
+		kb := make([]byte, 0, 4*len(cols))
+		for r := 0; r < in.n; r++ {
+			kb = kb[:0]
+			for _, c := range cols {
+				kb = appendID(kb, in.cols[c][r])
+			}
+			if seen[string(kb)] {
+				continue
+			}
+			seen[string(kb)] = true
+			p := make(Tuple, len(cols))
+			for i, c := range cols {
+				p[i] = vals[in.cols[c][r]]
+			}
+			out = append(out, p)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+		return out
+	}
 	seen := make(map[string]Tuple, len(in.tuples))
 	for _, t := range in.tuples {
 		p := t.Project(cols)
@@ -629,15 +986,67 @@ func (d *Database) IsEmpty() bool { return d.TupleCount() == 0 }
 
 // ActiveDomain returns the sorted set of all values occurring in d.
 func (d *Database) ActiveDomain() []Value {
+	if set, ok := d.InternedIDs(nil); ok {
+		return shared.SortedIDValues(set)
+	}
 	seen := make(map[Value]bool)
 	for _, in := range d.rels {
-		for _, t := range in.tuples {
-			for _, v := range t {
-				seen[v] = true
+		in.valuesInto(seen)
+	}
+	return SortedValues(seen)
+}
+
+// InternedIDs merges the set of dictionary ids occurring anywhere in d
+// into set (pass nil to start fresh) and returns it. ok is false — and
+// set is returned unchanged — when some instance uses legacy storage or
+// a non-shared dictionary, in which case callers must take the string
+// path. A nil database contributes nothing and is ok.
+func (d *Database) InternedIDs(set []uint64) ([]uint64, bool) {
+	if d == nil {
+		return set, true
+	}
+	for _, in := range d.rels {
+		if in.dict != shared {
+			return set, false
+		}
+	}
+	for _, in := range d.rels {
+		for _, col := range in.cols {
+			for _, id := range col[:in.n] {
+				set = SetIDBit(set, id)
 			}
 		}
 	}
-	return SortedValues(seen)
+	return set, true
+}
+
+// InternedCol returns column col of an interned instance as raw ids in
+// insertion order, or nil for legacy storage. The slice aliases the
+// instance's storage: callers must not modify it and must not hold it
+// across mutations.
+func (in *Instance) InternedCol(col int) []int32 {
+	if in.dict == nil || col < 0 || col >= len(in.cols) {
+		return nil
+	}
+	return in.cols[col][:in.n]
+}
+
+// valuesInto adds every value occurring in the instance to seen.
+func (in *Instance) valuesInto(seen map[Value]bool) {
+	if in.dict != nil {
+		vals := in.dict.Snapshot()
+		for _, col := range in.cols {
+			for _, id := range col {
+				seen[vals[id]] = true
+			}
+		}
+		return
+	}
+	for _, t := range in.tuples {
+		for _, v := range t {
+			seen[v] = true
+		}
+	}
 }
 
 func (d *Database) String() string {

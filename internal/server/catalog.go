@@ -17,8 +17,11 @@ import (
 // objects are shared read-only by every request that references the
 // entry, which is what makes the per-(instance, generation) caches of
 // the engine effective across the request stream: cc's p(Dm)
-// memoization, the lazily built column indexes of Dm's instances and
-// the compiled tableaux of cached queries are built once and reused.
+// memoization, the lazily built column indexes and posting lists of
+// Dm's instances and the compiled tableaux of cached queries are built
+// once and reused. Interned entries additionally share the process-wide
+// value dictionary (relation.Shared), so a catalog's vocabulary is
+// interned once at registration and every request joins in id space.
 type Entry struct {
 	Name          string
 	Schemas       map[string]*relation.Schema
