@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-smoke bench-workers fmt-check vuln fuzz-smoke cover-check doc-sync examples-build server-smoke
+.PHONY: ci build vet test race bench bench-smoke bench-workers fmt-check vuln fuzz-smoke cover-check doc-sync examples-build server-smoke cluster-smoke
 
-ci: fmt-check vet build examples-build test race bench-smoke cover-check doc-sync fuzz-smoke vuln server-smoke
+ci: fmt-check vet build examples-build test race bench-smoke cover-check doc-sync fuzz-smoke vuln server-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,13 @@ race:
 # and exit 0.
 server-smoke:
 	sh scripts/server_smoke.sh
+
+# Scale-out smoke: two relserve backends plus a consistent-hash router
+# and a -fanout router on random ports, driven by relload; verdicts
+# through both routers must match the direct-backend run, with zero
+# transport errors and zero drops.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -70,7 +77,7 @@ doc-sync:
 			echo "doc-sync: $$d has no main.go (scan glob would miss it)"; missing=1; \
 		fi; \
 	done; \
-	flags=$$(grep -hoE 'flag\.[A-Za-z0-9]+\((&[A-Za-z0-9]+, )?"[a-z-]+"' cmd/*/*.go \
+	flags=$$(grep -hoE 'flag\.[A-Za-z0-9]+\((&[A-Za-z0-9.]+, )?"[a-z-]+"' cmd/*/*.go \
 		| grep -oE '"[a-z-]+"' | tr -d '"' | sort -u); \
 	for f in $$flags; do \
 		if ! grep -q -- "-$$f" README.md; then \

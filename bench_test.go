@@ -16,8 +16,12 @@ package repro
 // via ∃∀∃-3SAT.
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"testing"
 
@@ -32,6 +36,8 @@ import (
 	"repro/internal/reductions"
 	"repro/internal/relation"
 	"repro/internal/sat"
+	"repro/internal/server"
+	"repro/internal/textq"
 	"repro/internal/tiling"
 )
 
@@ -684,4 +690,105 @@ func areaEFO(width int) qlang.Query {
 		cq.Or(opts...),
 	)
 	return qlang.FromEFO(cq.NewEFO("Qefo", []query.Term{c}, body))
+}
+
+// ---------------------------------------------------------------------
+// Serving layer — batch amortization
+// ---------------------------------------------------------------------
+
+// batchBenchServer starts a relserve instance with a generated CRM
+// catalog registered, mirroring the relgen/relserve production shape
+// so the benchmark measures the real serving path (HTTP, JSON decode,
+// db-facts parse, admission) rather than the checker alone.
+func batchBenchServer(b *testing.B) (*httptest.Server, string, string) {
+	b.Helper()
+	s := mdm.Generate(mdm.DefaultConfig())
+	srv := server.New(server.Config{Workers: 1})
+	_, err := srv.Catalog().Register("crm", textq.ProblemSource{
+		Schemas:       textq.FormatSchemas(mdm.Schemas()),
+		MasterSchemas: textq.FormatSchemas(mdm.MasterSchemas()),
+		Master:        textq.FormatDatabase(s.Dm),
+		Constraints:   "cc phi0(C, A) :- Cust(C, N, CC, A, P), Supt(E, D, C), CC = 01 <= DCust[0, 2]",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	db := textq.FormatDatabase(s.D)
+	query := "Q0(C) :- Cust(C, N, CC, A, P), Supt(E, D, C), CC = 01, A = 908"
+	return ts, db, query
+}
+
+// BenchmarkBatchAmortization compares N checks sent as N sequential
+// POST /v1/rcdp requests against the same N sent as one POST /v1/batch:
+// the batch pays the HTTP round-trip, JSON decode, catalog resolution
+// and db-facts parse once instead of N times. Both report ns/query for
+// direct comparison; the ratio is the amortization factor recorded in
+// EXPERIMENTS.md.
+func BenchmarkBatchAmortization(b *testing.B) {
+	const nQueries = 32
+	ts, db, query := batchBenchServer(b)
+
+	b.Run("sequential", func(b *testing.B) {
+		body, err := json.Marshal(server.CheckRequest{Catalog: "crm", DB: db, Query: query})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for q := 0; q < nQueries; q++ {
+				resp, err := http.Post(ts.URL+"/v1/rcdp", "application/json", bytes.NewReader(body))
+				if err != nil {
+					b.Fatal(err)
+				}
+				var out server.CheckResponse
+				if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+					b.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || out.Verdict == "" {
+					b.Fatalf("status %d verdict %q", resp.StatusCode, out.Verdict)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nQueries), "ns/query")
+	})
+
+	b.Run("batch", func(b *testing.B) {
+		queries := make([]string, nQueries)
+		for i := range queries {
+			queries[i] = query
+		}
+		body, err := json.Marshal(server.BatchRequest{Catalog: "crm", DB: db, Queries: queries})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			lines := 0
+			dec := json.NewDecoder(resp.Body)
+			for {
+				var line server.BatchLine
+				if err := dec.Decode(&line); err != nil {
+					break
+				}
+				if line.Error != "" || line.Response == nil || line.Response.Verdict == "" {
+					b.Fatalf("line %d: %+v", lines, line)
+				}
+				lines++
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || lines != nQueries {
+				b.Fatalf("status %d, %d lines", resp.StatusCode, lines)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nQueries), "ns/query")
+	})
 }

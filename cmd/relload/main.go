@@ -1,0 +1,445 @@
+// Command relload is the load generator for relserve: it fires
+// completeness-check requests at one or more relserve targets (backends
+// or a router), paces them open-loop at a fixed rate or closed-loop at
+// a fixed concurrency, and reports throughput, per-status and
+// per-verdict counts and a latency distribution (exact percentiles
+// plus the internal/obs histogram buckets) as JSON.
+//
+// The problem parts come from a relgen-style scenario directory:
+// d.facts supplies the database and q0.cq the default query. With
+// -catalog the requests reference a preregistered catalog entry by
+// name (the realistic serving shape: master data parsed once
+// server-side); without it, the scenario's r.schema, rm.schema,
+// dm.facts and v.cc ride inline in every request.
+//
+// Open-loop mode (-rate > 0) sends at the target rate regardless of
+// response latency, bounded by -concurrency in-flight requests; a tick
+// that finds no free slot is counted as dropped rather than queued, so
+// the report separates server pushback (429/503) from client-side
+// saturation. Closed-loop mode (-rate 0) keeps exactly -concurrency
+// requests in flight.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "relload:", err)
+		os.Exit(1)
+	}
+}
+
+// loadConfig is the parsed flag set.
+type loadConfig struct {
+	targets     []string
+	endpoint    string
+	catalog     string
+	scenario    string
+	query       string
+	n           int
+	duration    time.Duration
+	rate        float64
+	concurrency int
+	batch       int
+	warmup      int
+	timeout     time.Duration
+	jsonPath    string
+}
+
+func run() error {
+	var cfg loadConfig
+	var addr string
+	flag.StringVar(&addr, "addr", "http://127.0.0.1:8080", "comma-separated relserve base URLs, load-balanced round-robin")
+	flag.StringVar(&cfg.endpoint, "endpoint", "rcdp", "check endpoint to drive: rcdp, rcqp or bounded")
+	flag.StringVar(&cfg.catalog, "catalog", "", "reference this preregistered catalog entry instead of sending master data inline")
+	flag.StringVar(&cfg.scenario, "scenario", "", "relgen scenario directory (d.facts, q0.cq; plus r.schema, rm.schema, dm.facts, v.cc when -catalog is unset)")
+	flag.StringVar(&cfg.query, "query", "", "query text (default: the scenario's q0.cq)")
+	flag.IntVar(&cfg.n, "n", 100, "total requests to send (ignored when -duration is set)")
+	flag.DurationVar(&cfg.duration, "duration", 0, "send for this long instead of a fixed -n")
+	flag.Float64Var(&cfg.rate, "rate", 0, "open-loop request rate per second (0 = closed loop at -concurrency)")
+	flag.IntVar(&cfg.concurrency, "concurrency", 16, "maximum in-flight requests (open-loop ticks beyond this are dropped)")
+	flag.IntVar(&cfg.batch, "batch", 0, "send /v1/batch requests with this many queries each instead of single checks")
+	flag.IntVar(&cfg.warmup, "warmup", 0, "untimed warmup requests before the measured run")
+	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request timeout")
+	flag.StringVar(&cfg.jsonPath, "json", "", "write the JSON report to this file (\"-\" = stdout; default: human summary)")
+	flag.Parse()
+
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			cfg.targets = append(cfg.targets, strings.TrimSuffix(a, "/"))
+		}
+	}
+	if len(cfg.targets) == 0 {
+		return fmt.Errorf("-addr: at least one target is required")
+	}
+	if cfg.scenario == "" {
+		return fmt.Errorf("-scenario is required")
+	}
+	if cfg.concurrency <= 0 {
+		return fmt.Errorf("-concurrency must be positive")
+	}
+	if cfg.n <= 0 && cfg.duration <= 0 {
+		return fmt.Errorf("one of -n or -duration is required")
+	}
+
+	body, path, err := buildRequest(&cfg)
+	if err != nil {
+		return err
+	}
+	rep, err := drive(&cfg, path, body)
+	if err != nil {
+		return err
+	}
+	return rep.emit(cfg.jsonPath)
+}
+
+// buildRequest assembles the constant request body and URL path from
+// the scenario directory.
+func buildRequest(cfg *loadConfig) ([]byte, string, error) {
+	read := func(base string, required bool) (string, error) {
+		b, err := os.ReadFile(filepath.Join(cfg.scenario, base))
+		if err != nil {
+			if os.IsNotExist(err) && !required {
+				return "", nil
+			}
+			return "", err
+		}
+		return string(b), nil
+	}
+	db, err := read("d.facts", true)
+	if err != nil {
+		return nil, "", err
+	}
+	query := cfg.query
+	if query == "" {
+		if query, err = read("q0.cq", true); err != nil {
+			return nil, "", fmt.Errorf("no -query and no q0.cq: %w", err)
+		}
+	}
+	req := map[string]any{"db": db}
+	if cfg.catalog != "" {
+		req["catalog"] = cfg.catalog
+	} else {
+		for file, field := range map[string]string{
+			"r.schema":  "schemas",
+			"rm.schema": "master_schemas",
+			"dm.facts":  "master",
+			"v.cc":      "constraints",
+		} {
+			v, err := read(file, file == "r.schema")
+			if err != nil {
+				return nil, "", err
+			}
+			if v != "" {
+				req[field] = v
+			}
+		}
+	}
+	path := "/v1/" + cfg.endpoint
+	if cfg.batch > 0 {
+		queries := make([]string, cfg.batch)
+		for i := range queries {
+			queries[i] = query
+		}
+		req["queries"] = queries
+		if cfg.endpoint != "rcdp" {
+			req["endpoint"] = cfg.endpoint
+		}
+		path = "/v1/batch"
+	} else {
+		req["query"] = query
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, "", err
+	}
+	return body, path, nil
+}
+
+// report is the run summary, emitted as JSON with -json.
+type report struct {
+	Targets       []string         `json:"targets"`
+	Endpoint      string           `json:"endpoint"`
+	Batch         int              `json:"batch,omitempty"`
+	Sent          int64            `json:"sent"`
+	OK            int64            `json:"ok"`
+	Errors        int64            `json:"errors"`
+	Dropped       int64            `json:"dropped"`
+	Status        map[string]int64 `json:"status"`
+	Verdicts      map[string]int64 `json:"verdicts"`
+	DurationS     float64          `json:"duration_s"`
+	ThroughputRPS float64          `json:"throughput_rps"`
+	LatencyMS     latencySummary   `json:"latency_ms"`
+	Histogram     map[string]int64 `json:"latency_histogram_s"`
+}
+
+type latencySummary struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// collector aggregates per-request outcomes. The histogram lives in a
+// private obs registry so a relload embedded next to a server process
+// never collides with the serving metrics.
+type collector struct {
+	mu        sync.Mutex
+	status    map[string]int64
+	verdicts  map[string]int64
+	latencies []float64 // seconds
+	errors    int64
+	hist      *obs.Histogram
+}
+
+func newCollector() *collector {
+	reg := obs.NewRegistry()
+	return &collector{
+		status:   map[string]int64{},
+		verdicts: map[string]int64{},
+		hist:     reg.Histogram("relload_latency_seconds", "relload request latency", obs.DefBuckets),
+	}
+}
+
+func (c *collector) record(status int, verdicts []string, latency time.Duration, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		c.errors++
+		return
+	}
+	c.status[strconv.Itoa(status)]++
+	for _, v := range verdicts {
+		if v != "" {
+			c.verdicts[v]++
+		}
+	}
+	c.latencies = append(c.latencies, latency.Seconds())
+	c.hist.Observe(latency.Seconds())
+}
+
+// drive runs the warmup then the measured load and builds the report.
+func drive(cfg *loadConfig, path string, body []byte) (*report, error) {
+	client := &http.Client{Timeout: cfg.timeout}
+	next := atomic.Int64{}
+	fire := func(c *collector) {
+		target := cfg.targets[int(next.Add(1)-1)%len(cfg.targets)]
+		start := time.Now()
+		status, verdicts, err := postCheck(client, target+path, body, cfg.batch > 0)
+		c.record(status, verdicts, time.Since(start), err)
+	}
+
+	warm := newCollector()
+	for i := 0; i < cfg.warmup; i++ {
+		fire(warm)
+	}
+
+	c := newCollector()
+	var sent, dropped atomic.Int64
+	start := time.Now()
+	deadline := time.Time{}
+	if cfg.duration > 0 {
+		deadline = start.Add(cfg.duration)
+	}
+	more := func() bool {
+		if !deadline.IsZero() {
+			return time.Now().Before(deadline)
+		}
+		return sent.Load() < int64(cfg.n)
+	}
+
+	var wg sync.WaitGroup
+	if cfg.rate > 0 {
+		// Open loop: a ticker paces sends; a full slot table means the
+		// tick is dropped, not delayed.
+		slots := make(chan struct{}, cfg.concurrency)
+		interval := time.Duration(float64(time.Second) / cfg.rate)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for more() {
+			<-ticker.C
+			if !more() {
+				break
+			}
+			sent.Add(1)
+			select {
+			case slots <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-slots }()
+					fire(c)
+				}()
+			default:
+				dropped.Add(1)
+			}
+		}
+	} else {
+		// Closed loop: exactly -concurrency requests in flight.
+		for w := 0; w < cfg.concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if deadline.IsZero() {
+						if sent.Add(1) > int64(cfg.n) {
+							return
+						}
+					} else {
+						if !time.Now().Before(deadline) {
+							return
+						}
+						sent.Add(1)
+					}
+					fire(c)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &report{
+		Targets:   cfg.targets,
+		Endpoint:  cfg.endpoint,
+		Batch:     cfg.batch,
+		Errors:    c.errors,
+		Dropped:   dropped.Load(),
+		Status:    c.status,
+		Verdicts:  c.verdicts,
+		DurationS: elapsed.Seconds(),
+	}
+	rep.Sent = int64(len(c.latencies)) + c.errors + dropped.Load()
+	rep.OK = c.status["200"]
+	completed := float64(len(c.latencies))
+	if elapsed > 0 {
+		rep.ThroughputRPS = completed / elapsed.Seconds()
+	}
+	rep.LatencyMS = summarize(c.latencies)
+	rep.Histogram = bucketCounts(c.hist, c.latencies)
+	return rep, nil
+}
+
+// postCheck fires one request and extracts status plus verdicts (one
+// per batch line, or the single response's verdict).
+func postCheck(client *http.Client, url string, body []byte, batch bool) (int, []string, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	if batch && resp.StatusCode == http.StatusOK {
+		var verdicts []string
+		dec := json.NewDecoder(resp.Body)
+		for {
+			var line struct {
+				Response struct {
+					Verdict string `json:"verdict"`
+				} `json:"response"`
+			}
+			if err := dec.Decode(&line); err != nil {
+				if err == io.EOF {
+					break
+				}
+				return resp.StatusCode, verdicts, err
+			}
+			verdicts = append(verdicts, line.Response.Verdict)
+		}
+		return resp.StatusCode, verdicts, nil
+	}
+	var out struct {
+		Verdict string `json:"verdict"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, []string{out.Verdict}, nil
+}
+
+// summarize computes exact percentiles from the recorded latencies.
+func summarize(lat []float64) latencySummary {
+	if len(lat) == 0 {
+		return latencySummary{}
+	}
+	sorted := append([]float64(nil), lat...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	pick := func(q float64) float64 {
+		i := int(q*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i] * 1e3
+	}
+	return latencySummary{
+		Mean: sum / float64(len(sorted)) * 1e3,
+		P50:  pick(0.50),
+		P90:  pick(0.90),
+		P99:  pick(0.99),
+		Max:  sorted[len(sorted)-1] * 1e3,
+	}
+}
+
+// bucketCounts renders the obs histogram's cumulative buckets for the
+// report (Prometheus "le" semantics, seconds).
+func bucketCounts(h *obs.Histogram, lat []float64) map[string]int64 {
+	out := make(map[string]int64, len(obs.DefBuckets)+1)
+	for _, bound := range obs.DefBuckets {
+		var n int64
+		for _, v := range lat {
+			if v <= bound {
+				n++
+			}
+		}
+		out[strconv.FormatFloat(bound, 'g', -1, 64)] = n
+	}
+	out["+Inf"] = h.Count()
+	return out
+}
+
+// emit writes the report as JSON (to path or stdout), or a human
+// summary when -json is unset.
+func (r *report) emit(path string) error {
+	if path != "" {
+		b, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if path == "-" {
+			_, err = os.Stdout.Write(b)
+			return err
+		}
+		return os.WriteFile(path, b, 0o644)
+	}
+	fmt.Printf("relload: %d sent, %d ok, %d errors, %d dropped in %.2fs (%.1f req/s)\n",
+		r.Sent, r.OK, r.Errors, r.Dropped, r.DurationS, r.ThroughputRPS)
+	fmt.Printf("relload: latency ms p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
+		r.LatencyMS.P50, r.LatencyMS.P90, r.LatencyMS.P99, r.LatencyMS.Max)
+	for v, n := range r.Verdicts {
+		fmt.Printf("relload: verdict %s: %d\n", v, n)
+	}
+	return nil
+}

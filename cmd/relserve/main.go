@@ -8,6 +8,8 @@
 //	POST /v1/rcdp     is D complete for Q relative to (Dm, V)?
 //	POST /v1/rcqp     does any complete database exist for Q?
 //	POST /v1/bounded  bounded search for FO/FP (undecidable) fragments
+//	POST /v1/batch    many queries against one context, streamed as JSONL
+//	POST /v1/partial  one partition slice of an RCDP check (fan-out leg)
 //	POST /v1/catalog  register a named (Dm, V) master-data context
 //	GET  /v1/catalog  list registered contexts
 //	GET  /healthz     process liveness
@@ -18,6 +20,14 @@
 // the whole request stream. Responses carry the three-valued verdict,
 // the exhaustion reason and the consumed budget; per-request budget
 // overrides are clamped to the -max-* ceilings.
+//
+// With -route backend1,backend2,... relserve runs as a stateless
+// router instead: requests are consistent-hashed by catalog name (else
+// query text) onto a backend so warm caches are reused, catalog
+// registrations are broadcast to every backend, GET /v1/backends
+// reports per-backend health, and -fanout answers /v1/rcdp by
+// scattering partition slices (/v1/partial) across all backends and
+// merging the results into the single-process verdict.
 //
 // SIGTERM/SIGINT starts a graceful drain: new requests get 503,
 // in-flight requests finish (up to -drain-timeout), then the process
@@ -54,6 +64,8 @@ func run() error {
 	var catalogs []string
 	var (
 		addr          = flag.String("addr", ":8080", "listen address for the JSON API (use :0 for a random port)")
+		route         = flag.String("route", "", "run as a router over these comma-separated backend URLs instead of serving checks locally")
+		fanout        = flag.Bool("fanout", false, "with -route: answer /v1/rcdp by fanning partition slices across all backends and merging")
 		addrFile      = flag.String("addr-file", "", "write the bound listen address to this file (for scripts using -addr :0)")
 		workers       = flag.Int("workers", 0, "checks executing concurrently (0 = GOMAXPROCS)")
 		queue         = flag.Int("queue", 0, "admitted requests waiting beyond -workers before 429 (0 = 2x workers)")
@@ -90,6 +102,37 @@ func run() error {
 				fmt.Fprintln(os.Stderr, "relserve: -trace:", err)
 			}
 		}()
+	}
+
+	if *fanout && *route == "" {
+		return fmt.Errorf("-fanout requires -route")
+	}
+	if *route != "" {
+		if len(catalogs) > 0 {
+			return fmt.Errorf("-catalog is backend-only; register catalogs through the router's POST /v1/catalog broadcast")
+		}
+		backends := strings.Split(*route, ",")
+		for i := range backends {
+			backends[i] = strings.TrimSpace(backends[i])
+		}
+		rt, err := server.NewRouter(server.RouterConfig{
+			Backends:   backends,
+			Fanout:     *fanout,
+			RetryAfter: *retryAfter,
+		})
+		if err != nil {
+			return err
+		}
+		obs.SetReady(func() bool { return !rt.Draining() })
+		if *metricsAddr != "" {
+			maddr, err := obs.Serve(*metricsAddr)
+			if err != nil {
+				return fmt.Errorf("-metrics: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "relserve: metrics on http://%s/metrics\n", maddr)
+		}
+		banner := fmt.Sprintf("routing to %d backends (fanout=%v)", len(backends), *fanout)
+		return serveUntilSignal(rt.Handler(), *addr, *addrFile, *drainTimeout, banner, rt.Drain)
 	}
 
 	srv := server.New(server.Config{
@@ -130,20 +173,26 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "relserve: metrics on http://%s/metrics\n", maddr)
 	}
 
-	ln, err := net.Listen("tcp", *addr)
+	banner := fmt.Sprintf("workers=%d, queue capacity=%d", *workers, srv.Capacity())
+	return serveUntilSignal(srv.Handler(), *addr, *addrFile, *drainTimeout, banner, srv.Drain)
+}
+
+// serveUntilSignal binds addr, serves h, and on SIGTERM/SIGINT drains
+// via drain (backend or router mode) before exiting cleanly.
+func serveUntilSignal(h http.Handler, addr, addrFile string, drainTimeout time.Duration, banner string, drain func(context.Context) error) error {
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	bound := ln.Addr().String()
-	fmt.Fprintf(os.Stderr, "relserve: listening on http://%s (workers=%d, queue capacity=%d)\n",
-		bound, *workers, srv.Capacity())
-	if *addrFile != "" {
-		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+	fmt.Fprintf(os.Stderr, "relserve: listening on http://%s (%s)\n", bound, banner)
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound+"\n"), 0o644); err != nil {
 			return fmt.Errorf("-addr-file: %w", err)
 		}
 	}
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := &http.Server{Handler: h}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 
@@ -153,12 +202,12 @@ func run() error {
 	case err := <-errc:
 		return err
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "relserve: %v: draining (timeout %v)\n", sig, *drainTimeout)
+		fmt.Fprintf(os.Stderr, "relserve: %v: draining (timeout %v)\n", sig, drainTimeout)
 	}
 
-	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
-	if err := srv.Drain(drainCtx); err != nil {
+	if err := drain(drainCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "relserve: drain incomplete: %v\n", err)
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil {

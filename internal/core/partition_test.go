@@ -1,0 +1,394 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// The partitioned fan-out's contract (see partition.go): any K-way
+// split of the top-level disjunct/branch space, with the slice results
+// merged in any order, reproduces the Workers=1 single-process result
+// byte-for-byte — verdict, witness (Extension/NewTuple/Disjunct) and
+// the enumeration-relevant stats (Valuations, JoinRows, Tuples).
+
+// partitionKs are the split widths the property tests sweep.
+var partitionKs = []int{1, 2, 3, 8}
+
+// mergeOrders yields a few deterministic arrival orders of k slice
+// results: submission order, reverse, and two seeded shuffles.
+func mergeOrders(k int, rng *rand.Rand) [][]int {
+	id := make([]int, k)
+	rev := make([]int, k)
+	for i := 0; i < k; i++ {
+		id[i] = i
+		rev[i] = k - 1 - i
+	}
+	orders := [][]int{id, rev}
+	for n := 0; n < 2; n++ {
+		p := rng.Perm(k)
+		orders = append(orders, p)
+	}
+	return orders
+}
+
+func TestPartitionPlanValidate(t *testing.T) {
+	bad := []PartitionPlan{{}, {Slices: 0, Slice: 0}, {Slices: 2, Slice: 2}, {Slices: 2, Slice: -1}, {Slices: -1}}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %+v should be invalid", p)
+		}
+	}
+	good := []PartitionPlan{{Slices: 1, Slice: 0}, {Slices: 8, Slice: 7}}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("plan %+v should be valid: %v", p, err)
+		}
+	}
+}
+
+// TestPartitionOwnsCovers pins the partitioning invariant MergeSlices
+// relies on: every (disjunct, branch) pair is owned by exactly one
+// slice of a K-way plan.
+func TestPartitionOwnsCovers(t *testing.T) {
+	for _, k := range partitionKs {
+		for d := 0; d < 5; d++ {
+			for b := 0; b < 17; b++ {
+				owners := 0
+				for s := 0; s < k; s++ {
+					if (PartitionPlan{Slices: k, Slice: s}).Owns(d, b) {
+						owners++
+					}
+				}
+				if owners != 1 {
+					t.Fatalf("K=%d (d=%d, b=%d): owned by %d slices", k, d, b, owners)
+				}
+			}
+		}
+	}
+}
+
+// sameMerged compares a merged partition result against the sequential
+// single-process result on every byte-identity field: verdict, reason,
+// witness and the enumeration-relevant stats (Elapsed is excluded — it
+// is wall-clock, not enumeration state).
+func sameMerged(seq, merged *RCDPResult) (string, bool) {
+	switch {
+	case seq.Verdict != merged.Verdict:
+		return "verdict", false
+	case seq.Reason != merged.Reason:
+		return "reason", false
+	case seq.Complete != merged.Complete:
+		return "complete", false
+	case !sameRCDP(seq, merged):
+		return "witness", false
+	case seq.Valuations != merged.Valuations:
+		return "valuations", false
+	case seq.Stats.Valuations != merged.Stats.Valuations:
+		return "stats.valuations", false
+	case seq.Stats.JoinRows != merged.Stats.JoinRows:
+		return "stats.join-rows", false
+	case seq.Stats.Tuples != merged.Stats.Tuples:
+		return "stats.tuples", false
+	}
+	return "", true
+}
+
+// TestPartitionMergeMatchesSequential is the fan-out determinism
+// property test: on random micro instances, for K ∈ {1,2,3,8}, the K
+// slice results merged in several arrival orders must reproduce the
+// Workers=1 governed run exactly. Both runs are governed (cancellable
+// context) so the gate counts JoinRows/Tuples and the stats identity
+// is exercised, not just the verdict.
+func TestPartitionMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	queries := microQueries()
+	sets := microConstraintSets()
+	seq := &Checker{Workers: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	trials, incomplete := 0, 0
+	for trial := 0; trial < 400 && trials < 150; trial++ {
+		q := queries[rng.Intn(len(queries))]
+		cs := sets[rng.Intn(len(sets))]
+		d := randomMicroDB(rng)
+		if ok, err := cs.v.Satisfied(d, cs.dm); err != nil || !ok {
+			continue
+		}
+		trials++
+		sr, err := seq.RCDPCtx(ctx, q, d, cs.dm, cs.v)
+		if err != nil {
+			t.Fatalf("trial %d (%s/%s): sequential: %v", trial, cs.name, q, err)
+		}
+		if sr.Verdict == VerdictIncomplete {
+			incomplete++
+		}
+		for _, k := range partitionKs {
+			slices := make([]*SliceResult, k)
+			for s := 0; s < k; s++ {
+				slices[s], err = seq.RCDPSliceCtx(ctx, q, d, cs.dm, cs.v, PartitionPlan{Slices: k, Slice: s})
+				if err != nil {
+					t.Fatalf("trial %d (%s/%s) K=%d slice %d: %v", trial, cs.name, q, k, s, err)
+				}
+			}
+			for _, order := range mergeOrders(k, rng) {
+				arrived := make([]*SliceResult, 0, k)
+				for _, i := range order {
+					arrived = append(arrived, slices[i])
+				}
+				merged, err := MergeSlices(arrived)
+				if err != nil {
+					t.Fatalf("trial %d (%s/%s) K=%d order %v: merge: %v", trial, cs.name, q, k, order, err)
+				}
+				if field, ok := sameMerged(sr, merged); !ok {
+					t.Fatalf("trial %d (%s/%s) K=%d order %v: %s diverges\nD:\n%v\nsequential: %+v\nmerged:     %+v",
+						trial, cs.name, q, k, order, field, d, sr, merged)
+				}
+			}
+		}
+	}
+	if trials < 80 {
+		t.Fatalf("too few partially closed trials: %d", trials)
+	}
+	if incomplete < 10 {
+		t.Fatalf("too few incomplete verdicts to exercise witness merging: %d", incomplete)
+	}
+}
+
+// TestPartitionMergeUngoverned repeats the identity on the ungoverned
+// path (nil gate: JoinRows/Tuples stay zero, Valuations still count).
+func TestPartitionMergeUngoverned(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	queries := microQueries()
+	sets := microConstraintSets()
+	seq := &Checker{Workers: 1}
+
+	trials := 0
+	for trial := 0; trial < 200 && trials < 60; trial++ {
+		q := queries[rng.Intn(len(queries))]
+		cs := sets[rng.Intn(len(sets))]
+		d := randomMicroDB(rng)
+		if ok, err := cs.v.Satisfied(d, cs.dm); err != nil || !ok {
+			continue
+		}
+		trials++
+		sr, err := seq.RCDPCtx(context.Background(), q, d, cs.dm, cs.v)
+		if err != nil {
+			t.Fatalf("trial %d: sequential: %v", trial, err)
+		}
+		for _, k := range partitionKs {
+			slices := make([]*SliceResult, k)
+			for s := 0; s < k; s++ {
+				slices[s], err = seq.RCDPSliceCtx(context.Background(), q, d, cs.dm, cs.v, PartitionPlan{Slices: k, Slice: s})
+				if err != nil {
+					t.Fatalf("trial %d K=%d slice %d: %v", trial, k, s, err)
+				}
+			}
+			merged, err := MergeSlices(slices)
+			if err != nil {
+				t.Fatalf("trial %d K=%d: merge: %v", trial, k, err)
+			}
+			if field, ok := sameMerged(sr, merged); !ok {
+				t.Fatalf("trial %d (%s/%s) K=%d: %s diverges\nsequential: %+v\nmerged: %+v",
+					trial, cs.name, q, k, field, sr, merged)
+			}
+		}
+	}
+	if trials < 30 {
+		t.Fatalf("too few partially closed trials: %d", trials)
+	}
+}
+
+// TestPartitionBudgetClaim pins the budget surface. MaxValuations caps
+// each slice's per-disjunct work independently (there is no shared
+// counter across processes), so: at K=1 a budget stop reproduces the
+// sequential Unknown/valuations surface exactly, while at K>1 slices
+// that each stay under their own cap may legitimately finish a search
+// the single process gave up on — the merged Complete is sound and
+// strictly more decisive (the per-slice cap caveat of partition.go).
+func TestPartitionBudgetClaim(t *testing.T) {
+	r, f := microSchema()
+	d := relation.NewDatabase(r, f)
+	d.MustAdd("F", "0")
+	d.MustAdd("F", "1")
+	q5 := microQueries()[4] // complete on this instance; 2 valuations
+	ck := &Checker{Workers: 1, Budget: Budget{MaxValuations: 1}}
+	ctx := context.Background()
+
+	sr, err := ck.RCDPCtx(ctx, q5, d, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Verdict != VerdictUnknown || sr.Reason != ReasonValuations {
+		t.Fatalf("sequential: want unknown/valuations, got %v/%v", sr.Verdict, sr.Reason)
+	}
+
+	s0, err := ck.RCDPSliceCtx(ctx, q5, d, nil, nil, PartitionPlan{Slices: 1, Slice: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0.Verdict != VerdictUnknown || s0.Reason != ReasonValuations || !keyIsBudget(s0.Claim) {
+		t.Fatalf("K=1 slice: want budget claim, got %+v", s0)
+	}
+	merged, err := MergeSlices([]*SliceResult{s0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Verdict != VerdictUnknown || merged.Reason != ReasonValuations {
+		t.Fatalf("K=1 merged: want unknown/valuations, got %v/%v", merged.Verdict, merged.Reason)
+	}
+
+	// K=2: each slice owns one of the two valuations, stays under its
+	// own cap, and the cluster proves completeness the single process
+	// could not.
+	var slices []*SliceResult
+	for s := 0; s < 2; s++ {
+		r2, err := ck.RCDPSliceCtx(ctx, q5, d, nil, nil, PartitionPlan{Slices: 2, Slice: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slices = append(slices, r2)
+	}
+	merged2, err := MergeSlices(slices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged2.Verdict != VerdictComplete {
+		t.Fatalf("K=2 merged: want complete (per-slice caps), got %v/%v", merged2.Verdict, merged2.Reason)
+	}
+}
+
+// TestMergeSlicesArbitration pins the key arbitration rules on
+// synthetic slice results: a budget claim in an earlier disjunct beats
+// a witness in a later one (the sequential engine would have stopped
+// first), the lowest witness key wins, and the merged stats are the
+// setup plus exactly the branch records at keys <= the winner.
+func TestMergeSlicesArbitration(t *testing.T) {
+	witness := func(k, s int, claim int64, branches ...BranchStats) *SliceResult {
+		return &SliceResult{
+			Plan: PartitionPlan{Slices: k, Slice: s}, Claim: claim,
+			Verdict:  VerdictIncomplete,
+			Setup:    BudgetStats{JoinRows: 10, Tuples: 2},
+			Branches: branches,
+			Witness:  &RCDPResult{Verdict: VerdictIncomplete, Disjunct: keyDisjunct(claim)},
+		}
+	}
+	complete := func(k, s int, branches ...BranchStats) *SliceResult {
+		return &SliceResult{
+			Plan: PartitionPlan{Slices: k, Slice: s}, Claim: NoClaim,
+			Verdict: VerdictComplete, Setup: BudgetStats{JoinRows: 10, Tuples: 2}, Branches: branches,
+		}
+	}
+	budget := func(k, s, disjunct int, branches ...BranchStats) *SliceResult {
+		return &SliceResult{
+			Plan: PartitionPlan{Slices: k, Slice: s}, Claim: budgetKey(disjunct),
+			Verdict: VerdictUnknown, Reason: ReasonValuations,
+			Setup: BudgetStats{JoinRows: 10, Tuples: 2}, Branches: branches,
+		}
+	}
+
+	// Budget stop in disjunct 0 vs witness in disjunct 1: Unknown wins.
+	m, err := MergeSlices([]*SliceResult{
+		budget(2, 0, 0, BranchStats{Disjunct: 0, Branch: 0, Valuations: 3}),
+		witness(2, 1, packKey(1, 0), BranchStats{Disjunct: 1, Branch: 0, Valuations: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Verdict != VerdictUnknown || m.Reason != ReasonValuations {
+		t.Fatalf("budget before witness: want unknown/valuations, got %v/%v", m.Verdict, m.Reason)
+	}
+
+	// Two witnesses: lowest (disjunct, branch) key wins, and the stats
+	// prefix excludes branch records past the winner.
+	m, err = MergeSlices([]*SliceResult{
+		witness(2, 0, packKey(0, 2),
+			BranchStats{Disjunct: 0, Branch: 0, Valuations: 4, JoinRows: 7},
+			BranchStats{Disjunct: 0, Branch: 2, Valuations: 1, JoinRows: 3}),
+		witness(2, 1, packKey(0, 5),
+			BranchStats{Disjunct: 0, Branch: 1, Valuations: 4, JoinRows: 7},
+			BranchStats{Disjunct: 0, Branch: 5, Valuations: 2, JoinRows: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Verdict != VerdictIncomplete || m.Disjunct != 0 {
+		t.Fatalf("want incomplete in disjunct 0, got %+v", m)
+	}
+	// Setup (10 rows) + branches 0, 1, 2 (7+7+3); branch 5 is past the
+	// winner and excluded. Valuations likewise 4+4+1.
+	if m.Stats.JoinRows != 27 || m.Stats.Valuations != 9 || m.Valuations != 9 {
+		t.Fatalf("stats prefix wrong: %+v", m.Stats)
+	}
+
+	// All complete: totals over every branch record.
+	m, err = MergeSlices([]*SliceResult{
+		complete(2, 0, BranchStats{Disjunct: 0, Branch: 0, Valuations: 4, JoinRows: 7}),
+		complete(2, 1, BranchStats{Disjunct: 0, Branch: 1, Valuations: 5, JoinRows: 2, Tuples: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Verdict != VerdictComplete || m.Stats.Valuations != 9 || m.Stats.JoinRows != 19 || m.Stats.Tuples != 3 {
+		t.Fatalf("complete totals wrong: %+v", m)
+	}
+}
+
+// TestPartitionGovernanceStop pins the governance surface: a cancelled
+// context makes every slice Unknown/cancelled, and the merge carries
+// the reason through.
+func TestPartitionGovernanceStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := microQueries()[0]
+	d := randomMicroDB(rng)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ck := &Checker{Workers: 1}
+
+	const k = 3
+	slices := make([]*SliceResult, k)
+	for s := 0; s < k; s++ {
+		r, err := ck.RCDPSliceCtx(ctx, q, d, nil, nil, PartitionPlan{Slices: k, Slice: s})
+		if err != nil {
+			t.Fatalf("slice %d: %v", s, err)
+		}
+		if r.Verdict != VerdictUnknown || r.Reason != ReasonCancelled {
+			t.Fatalf("slice %d: want unknown/cancelled, got %v/%v", s, r.Verdict, r.Reason)
+		}
+		slices[s] = r
+	}
+	merged, err := MergeSlices(slices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Verdict != VerdictUnknown || merged.Reason != ReasonCancelled {
+		t.Fatalf("merged: want unknown/cancelled, got %v/%v", merged.Verdict, merged.Reason)
+	}
+}
+
+// TestMergeSlicesValidation pins the input checks: empty, nil,
+// mismatched widths, duplicate and missing slice indexes are refused.
+func TestMergeSlicesValidation(t *testing.T) {
+	mk := func(k, s int) *SliceResult {
+		return &SliceResult{Plan: PartitionPlan{Slices: k, Slice: s}, Claim: NoClaim, Verdict: VerdictComplete}
+	}
+	cases := [][]*SliceResult{
+		{},
+		{nil},
+		{mk(2, 0)},           // missing slice 1
+		{mk(2, 0), mk(3, 1)}, // mixed widths
+		{mk(2, 0), mk(2, 0)}, // duplicate
+		{mk(2, 0), {Plan: PartitionPlan{Slices: 2, Slice: 2}}}, // out of range
+	}
+	for i, c := range cases {
+		if _, err := MergeSlices(c); err == nil {
+			t.Errorf("case %d should be refused", i)
+		}
+	}
+	if _, err := MergeSlices([]*SliceResult{mk(2, 1), mk(2, 0)}); err != nil {
+		t.Errorf("order-independent merge refused: %v", err)
+	}
+}

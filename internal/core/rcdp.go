@@ -152,19 +152,33 @@ func (ck *Checker) RCDPCtx(ctx context.Context, q qlang.Query, d, dm *relation.D
 	return res, nil
 }
 
-// rcdp is RCDP with an optional externally-owned worker pool — so that
-// RCQP's candidate checks and the RCDP disjunct searches they trigger
-// draw goroutines from one shared pool instead of multiplying — and an
-// optional governor (nil = ungoverned, zero instrumentation cost).
-// Governance stops surface as the gate's errors / ErrBudgetExceeded.
-func (ck *Checker) rcdp(q qlang.Query, d, dm *relation.Database, v *cc.Set, pool *workerPool, gv *governor) (*RCDPResult, error) {
+// rcdpPrep is the shared setup of a disjunct search: the compiled
+// tableaux, the per-disjunct valuation searches (nil entries are
+// disjuncts unsatisfiable under domain constraints), the database
+// schemas and the already-answered head set. Built once per check by
+// prepareRCDP and then read-only, it is shared by the sequential
+// engine, the parallel engine and the partition-slice runner alike.
+type rcdpPrep struct {
+	tableaux  []*cq.Tableau
+	searches  []*valuationSearch
+	schemas   map[string]*relation.Schema
+	answerSet map[string]bool
+}
+
+// prepareRCDP performs the disjunct-independent setup of an RCDP check:
+// the decidability guards, the partial-closure precondition, the Q(D)
+// answer set and one valuation search per disjunct tableau. The gate
+// charges it makes (constraint check, query evaluation) are exactly the
+// sequential engine's setup charges, which is what makes partition
+// slices report identical Setup stats on every shard. A nil prep with a
+// nil error means the query is unsatisfiable (trivially complete).
+func (ck *Checker) prepareRCDP(q qlang.Query, d, dm *relation.Database, v *cc.Set, gate *query.Gate) (*rcdpPrep, error) {
 	if !q.Lang().Monotone() {
 		return nil, fmt.Errorf("core: RCDP is undecidable for L_Q = %v (Theorem 3.1); use BoundedRCDP", q.Lang())
 	}
 	if v != nil && !v.AllMonotone() {
 		return nil, fmt.Errorf("core: RCDP is undecidable for L_C = %v (Theorem 3.1); use BoundedRCDP", v.MaxLang())
 	}
-	gate := gv.gateOf()
 	if ok, err := v.SatisfiedGate(d, dm, gate); err != nil {
 		return nil, err
 	} else if !ok {
@@ -183,7 +197,7 @@ func (ck *Checker) rcdp(q qlang.Query, d, dm *relation.Database, v *cc.Set, pool
 	tableaux := q.Tableaux()
 	if len(tableaux) == 0 {
 		// Unsatisfiable query: trivially complete.
-		return &RCDPResult{Complete: true}, nil
+		return nil, nil
 	}
 	schemas := schemasOf(d)
 	u := NewUniverse(d, dm, q, v, tableauVarCount(tableaux))
@@ -213,6 +227,24 @@ func (ck *Checker) rcdp(q qlang.Query, d, dm *relation.Database, v *cc.Set, pool
 		}
 		searches[di] = search
 	}
+	return &rcdpPrep{tableaux: tableaux, searches: searches, schemas: schemas, answerSet: answerSet}, nil
+}
+
+// rcdp is RCDP with an optional externally-owned worker pool — so that
+// RCQP's candidate checks and the RCDP disjunct searches they trigger
+// draw goroutines from one shared pool instead of multiplying — and an
+// optional governor (nil = ungoverned, zero instrumentation cost).
+// Governance stops surface as the gate's errors / ErrBudgetExceeded.
+func (ck *Checker) rcdp(q qlang.Query, d, dm *relation.Database, v *cc.Set, pool *workerPool, gv *governor) (*RCDPResult, error) {
+	gate := gv.gateOf()
+	prep, err := ck.prepareRCDP(q, d, dm, v, gate)
+	if err != nil {
+		return nil, err
+	}
+	if prep == nil {
+		return &RCDPResult{Complete: true}, nil
+	}
+	tableaux, searches, schemas, answerSet := prep.tableaux, prep.searches, prep.schemas, prep.answerSet
 
 	if workers := ck.effectiveWorkers(); workers > 1 {
 		if pool == nil {

@@ -158,4 +158,20 @@ var (
 	// serving layer by result (hit, miss).
 	ServeQueryCache = NewCounterVec("relserve_query_cache_total",
 		"serving-layer compiled-query cache lookups", "result")
+	// ServeQueueOccupancy gauges admitted requests waiting for a worker
+	// slot (executing requests excluded): rising occupancy is the
+	// leading saturation indicator, visible before 429s start.
+	ServeQueueOccupancy = NewGauge("relserve_queue_occupancy",
+		"admitted completeness-service requests waiting for a worker slot")
+	// RouteRequests counts router-mode forwards by backend.
+	RouteRequests = NewCounterVec("relserve_route_requests_total",
+		"router-mode requests forwarded, by backend", "backend")
+	// RouteRetries counts router-mode forward retries after a
+	// connection failure, by backend.
+	RouteRetries = NewCounterVec("relserve_route_retries_total",
+		"router-mode forwards retried after connection failure, by backend", "backend")
+	// RouteFailures counts router-mode forwards that failed even after
+	// the retry, by backend.
+	RouteFailures = NewCounterVec("relserve_route_failures_total",
+		"router-mode forwards failed after retry, by backend", "backend")
 )

@@ -119,6 +119,12 @@ func TestAdmissionControl(t *testing.T) {
 	if got := s.inflight.Load(); got != int64(workers+queue) {
 		t.Errorf("inflight at saturation = %d, want %d", got, workers+queue)
 	}
+	// At saturation the occupancy gauge reads exactly the queued (admitted
+	// but not executing) requests: inflight minus the executing workers.
+	waitFor(t, "queue occupancy gauge", func() bool { return obs.ServeQueueOccupancy.Value() == queue })
+	if got := obs.ServeQueueOccupancy.Value(); got != queue {
+		t.Errorf("queue occupancy at saturation = %d, want %d", got, queue)
+	}
 	close(gate)
 	<-done
 
@@ -172,6 +178,11 @@ func TestDrain(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("mid-drain request: status %d, want 503", resp.StatusCode)
+	}
+	// Drain refusals carry the same Retry-After hint as admission 429s,
+	// so routed clients back off instead of hammering a dying backend.
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || secs < 1 {
+		t.Errorf("503 Retry-After = %q, want >= 1s", resp.Header.Get("Retry-After"))
 	}
 	resp, err = http.Get(ts.URL + "/readyz")
 	if err != nil {

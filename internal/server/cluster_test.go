@@ -1,0 +1,424 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/textq"
+)
+
+// registerCRM registers the Example 2.1 CRM context on a server.
+func registerCRM(t *testing.T, s *Server) {
+	t.Helper()
+	if _, err := s.Catalog().Register("crm", textq.ProblemSource{
+		Schemas:       exSchemas,
+		MasterSchemas: exMasterSchemas,
+		Master:        exMaster,
+		Constraints:   exConstraints,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// incompleteQuery matches no supported customer in area 973, so the
+// CRM DB misses a legal extension answer and RCDP says incomplete.
+const incompleteQuery = `Q2(C) :- Supt(E, D, C), Cust(C, N, CC, A, P), CC = 01, A = 973`
+
+// postBatch sends a BatchRequest and decodes the JSONL stream.
+func postBatch(t *testing.T, url string, req BatchRequest) (int, []BatchLine) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/batch", "application/json", bytes.NewReader(mustJSON(t, req)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, nil
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/x-ndjson") {
+		t.Fatalf("batch Content-Type = %q", ct)
+	}
+	var lines []BatchLine
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var line BatchLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad batch line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, lines
+}
+
+// TestBatchStream: a batch against a catalog streams one line per
+// query in submission order, each verdict matching what the single
+// endpoint answers, with parse failures as in-stream error lines.
+func TestBatchStream(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	registerCRM(t, s)
+	queries := []string{exQuery, incompleteQuery, "Nope(", exQuery}
+	code, lines := postBatch(t, ts.URL, BatchRequest{
+		Catalog: "crm",
+		DB:      exDB,
+		Queries: queries,
+	})
+	if code != http.StatusOK || len(lines) != len(queries) {
+		t.Fatalf("status %d, %d lines, want 200/%d", code, len(lines), len(queries))
+	}
+	for i, line := range lines {
+		if line.Index != i {
+			t.Fatalf("line %d has index %d (order broken)", i, line.Index)
+		}
+	}
+	wantVerdicts := []string{"complete", "incomplete", "", "complete"}
+	for i, want := range wantVerdicts {
+		if want == "" {
+			if lines[i].Error == "" || lines[i].Response != nil {
+				t.Errorf("line %d: want an error line, got %+v", i, lines[i])
+			}
+			continue
+		}
+		if lines[i].Response == nil || lines[i].Response.Verdict != want {
+			t.Errorf("line %d: want verdict %q, got %+v", i, want, lines[i])
+		}
+	}
+	// Per-item request ids derive from the batch id.
+	if got := lines[0].Response.RequestID; !strings.HasSuffix(got, ".0") {
+		t.Errorf("item request id %q should end in .0", got)
+	}
+	// Each batch item answers exactly like the single endpoint.
+	var single CheckResponse
+	if code := post(t, ts.URL+"/v1/rcdp", CheckRequest{Catalog: "crm", DB: exDB, Query: incompleteQuery}, &single); code != http.StatusOK {
+		t.Fatalf("single check status %d", code)
+	}
+	b := lines[1].Response
+	if b.Verdict != single.Verdict || b.Extension != single.Extension ||
+		fmt.Sprint(b.NewTuple) != fmt.Sprint(single.NewTuple) {
+		t.Errorf("batch item diverges from single endpoint:\nbatch  %+v\nsingle %+v", b, single)
+	}
+}
+
+// TestBatchInlineAndEndpoints: the inline (catalog-free) path works,
+// Endpoint selects the check kind, and bad requests fail whole.
+func TestBatchInlineAndEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	inline := BatchRequest{
+		Schemas:       exSchemas,
+		MasterSchemas: exMasterSchemas,
+		DB:            exDB,
+		Master:        exMaster,
+		Constraints:   exConstraints,
+		Endpoint:      "rcqp",
+		Queries:       []string{exQuery},
+	}
+	code, lines := postBatch(t, ts.URL, inline)
+	if code != http.StatusOK || len(lines) != 1 || lines[0].Response == nil || lines[0].Response.Verdict != "yes" {
+		t.Fatalf("rcqp batch: status %d lines %+v", code, lines)
+	}
+	// Unknown endpoint and empty query list are request-level errors.
+	bad := inline
+	bad.Endpoint = "nope"
+	if code, _ := postBatch(t, ts.URL, bad); code != http.StatusBadRequest {
+		t.Fatalf("unknown endpoint: status %d", code)
+	}
+	bad = inline
+	bad.Queries = nil
+	if code, _ := postBatch(t, ts.URL, bad); code != http.StatusBadRequest {
+		t.Fatalf("no queries: status %d", code)
+	}
+}
+
+// postPartial runs one slice of a K-way split.
+func postPartial(t *testing.T, url string, req CheckRequest, slices, slice int) *PartialResponse {
+	t.Helper()
+	preq := PartialRequest{CheckRequest: req, Slices: slices, Slice: slice}
+	resp, err := http.Post(url+"/v1/partial", "application/json", bytes.NewReader(mustJSON(t, preq)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("partial %d/%d: status %d: %s", slice, slices, resp.StatusCode, e.Error)
+	}
+	var out PartialResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+// TestPartialMergeMatchesSingle is the HTTP-level half of the
+// partition property: for K in {1, 2, 3}, running the K slices through
+// /v1/partial and merging the wire responses yields the same verdict,
+// witness and stats as one POST /v1/rcdp, on both a complete and an
+// incomplete instance.
+func TestPartialMergeMatchesSingle(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	registerCRM(t, s)
+	for _, query := range []string{exQuery, incompleteQuery} {
+		req := CheckRequest{Catalog: "crm", DB: exDB, Query: query}
+		var single CheckResponse
+		if code := post(t, ts.URL+"/v1/rcdp", req, &single); code != http.StatusOK {
+			t.Fatalf("single: status %d", code)
+		}
+		for _, k := range []int{1, 2, 3} {
+			partials := make([]*PartialResponse, k)
+			for i := 0; i < k; i++ {
+				partials[i] = postPartial(t, ts.URL, req, k, i)
+			}
+			merged, status, err := mergePartials(partials)
+			if err != nil {
+				t.Fatalf("K=%d %q: merge: %v (status %d)", k, query, err, status)
+			}
+			if merged.Verdict != single.Verdict || merged.Reason != single.Reason ||
+				merged.Extension != single.Extension ||
+				fmt.Sprint(merged.NewTuple) != fmt.Sprint(single.NewTuple) {
+				t.Errorf("K=%d %q: merged %+v != single %+v", k, query, merged, single)
+			}
+			if merged.Stats == nil || single.Stats == nil {
+				t.Fatalf("K=%d %q: stats missing", k, query)
+			}
+			if merged.Stats.Valuations != single.Stats.Valuations ||
+				merged.Stats.JoinRows != single.Stats.JoinRows ||
+				merged.Stats.Tuples != single.Stats.Tuples {
+				t.Errorf("K=%d %q: merged stats %+v != single stats %+v",
+					k, query, merged.Stats, single.Stats)
+			}
+		}
+	}
+}
+
+// TestPartialValidation: a bad plan is a 400.
+func TestPartialValidation(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	registerCRM(t, s)
+	preq := PartialRequest{
+		CheckRequest: CheckRequest{Catalog: "crm", DB: exDB, Query: exQuery},
+		Slices:       2, Slice: 5,
+	}
+	resp, err := http.Post(ts.URL+"/v1/partial", "application/json", bytes.NewReader(mustJSON(t, preq)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad plan: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// clusterBackends starts n backend servers with the CRM catalog
+// registered on each, returning their base URLs.
+func clusterBackends(t *testing.T, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		s, ts := newTestServer(t, Config{})
+		registerCRM(t, s)
+		urls[i] = ts.URL
+	}
+	return urls
+}
+
+// TestCoordinatorFanout: the coordinator scatters across real HTTP
+// backends and the merged response matches a single backend's /v1/rcdp
+// answer, for both verdict polarities.
+func TestCoordinatorFanout(t *testing.T) {
+	backends := clusterBackends(t, 3)
+	coord := &Coordinator{Backends: backends}
+	for _, query := range []string{exQuery, incompleteQuery} {
+		req := CheckRequest{Catalog: "crm", DB: exDB, Query: query}
+		var single CheckResponse
+		if code := post(t, backends[0]+"/v1/rcdp", req, &single); code != http.StatusOK {
+			t.Fatalf("single: status %d", code)
+		}
+		merged, status, err := coord.Check(context.Background(), &req)
+		if err != nil {
+			t.Fatalf("%q: fan-out: %v (status %d)", query, err, status)
+		}
+		if merged.Verdict != single.Verdict || merged.Reason != single.Reason ||
+			merged.Extension != single.Extension ||
+			fmt.Sprint(merged.NewTuple) != fmt.Sprint(single.NewTuple) ||
+			merged.Stats.Valuations != single.Stats.Valuations ||
+			merged.Stats.JoinRows != single.Stats.JoinRows {
+			t.Errorf("%q: merged %+v (stats %+v) != single %+v (stats %+v)",
+				query, merged, merged.Stats, single, single.Stats)
+		}
+	}
+}
+
+// TestRouterForwarding: the router forwards checks to ring-picked
+// backends, broadcasts catalog registrations, reports backend health
+// and drains with Retry-After.
+func TestRouterForwarding(t *testing.T) {
+	// Backends without catalogs: the router's broadcast registers them.
+	b1, ts1 := newTestServer(t, Config{})
+	b2, ts2 := newTestServer(t, Config{})
+	rt, err := NewRouter(RouterConfig{Backends: []string{ts1.URL, ts2.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	// Catalog broadcast: every backend holds the entry afterwards.
+	reg := CatalogRequest{
+		Name:          "crm",
+		Schemas:       exSchemas,
+		MasterSchemas: exMasterSchemas,
+		Master:        exMaster,
+		Constraints:   exConstraints,
+	}
+	var info CatalogInfo
+	if code := post(t, front.URL+"/v1/catalog", reg, &info); code != http.StatusCreated || info.Name != "crm" {
+		t.Fatalf("broadcast register: status %d info %+v", code, info)
+	}
+	if b1.Catalog().Get("crm") == nil || b2.Catalog().Get("crm") == nil {
+		t.Fatal("catalog broadcast did not reach every backend")
+	}
+	// The fan-in listing reports the entry once.
+	resp, err := http.Get(front.URL + "/v1/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []CatalogInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(infos) != 1 || infos[0].Name != "crm" {
+		t.Fatalf("fan-in listing %+v", infos)
+	}
+
+	// Routed checks answer exactly like a direct backend.
+	req := CheckRequest{Catalog: "crm", DB: exDB, Query: exQuery}
+	var direct, routed CheckResponse
+	if code := post(t, ts1.URL+"/v1/rcdp", req, &direct); code != http.StatusOK {
+		t.Fatalf("direct: status %d", code)
+	}
+	for i := 0; i < 3; i++ {
+		if code := post(t, front.URL+"/v1/rcdp", req, &routed); code != http.StatusOK {
+			t.Fatalf("routed: status %d", code)
+		}
+		if routed.Verdict != direct.Verdict || routed.Reason != direct.Reason {
+			t.Fatalf("routed %+v != direct %+v", routed, direct)
+		}
+	}
+	// Same catalog key, same backend every time: one backend carries
+	// all 3 check forwards (+1 broadcast each), the other only the
+	// broadcast.
+	f1 := rt.health[0].forwards.Load()
+	f2 := rt.health[1].forwards.Load()
+	if !(f1 == 4 && f2 == 1) && !(f1 == 1 && f2 == 4) {
+		t.Errorf("ring did not pin the catalog to one backend: forwards %d/%d", f1, f2)
+	}
+
+	// Batch streams through the router.
+	code, lines := postBatch(t, front.URL, BatchRequest{
+		Catalog: "crm", DB: exDB, Queries: []string{exQuery, incompleteQuery},
+	})
+	if code != http.StatusOK || len(lines) != 2 || lines[0].Response.Verdict != "complete" || lines[1].Response.Verdict != "incomplete" {
+		t.Fatalf("routed batch: status %d lines %+v", code, lines)
+	}
+
+	// Health: both backends ready, ledgers populated.
+	resp, err = http.Get(front.URL + "/v1/backends")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var statuses []BackendStatus
+	if err := json.NewDecoder(resp.Body).Decode(&statuses); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(statuses) != 2 || !statuses[0].Ready || !statuses[1].Ready {
+		t.Fatalf("backend health %+v", statuses)
+	}
+
+	// Drain: new requests get 503 with Retry-After.
+	go func() { _ = rt.Drain(context.Background()) }()
+	waitFor(t, "router draining", rt.Draining)
+	hr, err := http.Post(front.URL+"/v1/rcdp", "application/json", bytes.NewReader(mustJSON(t, req)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable || hr.Header.Get("Retry-After") == "" {
+		t.Fatalf("draining router: status %d Retry-After %q", hr.StatusCode, hr.Header.Get("Retry-After"))
+	}
+}
+
+// TestRouterFanoutMode: with Fanout set, the router's /v1/rcdp goes
+// through the coordinator and still matches the direct answer.
+func TestRouterFanoutMode(t *testing.T) {
+	backends := clusterBackends(t, 2)
+	rt, err := NewRouter(RouterConfig{Backends: backends, Fanout: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	for _, query := range []string{exQuery, incompleteQuery} {
+		req := CheckRequest{Catalog: "crm", DB: exDB, Query: query}
+		var direct, routed CheckResponse
+		if code := post(t, backends[0]+"/v1/rcdp", req, &direct); code != http.StatusOK {
+			t.Fatalf("direct: status %d", code)
+		}
+		if code := post(t, front.URL+"/v1/rcdp", req, &routed); code != http.StatusOK {
+			t.Fatalf("fanout: status %d", code)
+		}
+		if routed.Verdict != direct.Verdict || routed.Extension != direct.Extension ||
+			fmt.Sprint(routed.NewTuple) != fmt.Sprint(direct.NewTuple) ||
+			routed.Stats.Valuations != direct.Stats.Valuations {
+			t.Errorf("%q: fanout %+v != direct %+v", query, routed, direct)
+		}
+	}
+}
+
+// TestRouterRetryAndFailure: a dead backend fails the forward after
+// one retry with 502, and the ledger records it.
+func TestRouterRetryAndFailure(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // nothing listens here anymore
+	rt, err := NewRouter(RouterConfig{Backends: []string{deadURL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	req := CheckRequest{Catalog: "crm", DB: exDB, Query: exQuery}
+	var eresp ErrorResponse
+	if code := post(t, front.URL+"/v1/rcdp", req, &eresp); code != http.StatusBadGateway {
+		t.Fatalf("dead backend: status %d, want 502", code)
+	}
+	if rt.health[0].retries.Load() != 1 || rt.health[0].failures.Load() != 1 {
+		t.Errorf("ledger retries=%d failures=%d, want 1/1",
+			rt.health[0].retries.Load(), rt.health[0].failures.Load())
+	}
+	// Health reports the backend not ready.
+	resp, err := http.Get(front.URL + "/v1/backends")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var statuses []BackendStatus
+	if err := json.NewDecoder(resp.Body).Decode(&statuses); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(statuses) != 1 || statuses[0].Ready {
+		t.Fatalf("dead backend reported ready: %+v", statuses)
+	}
+}

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Coordinator scatters one RCDP check across a set of backends as
+// partition slices (POST /v1/partial, one slice per backend) and
+// merges the results with core.MergeSlices, so the merged verdict,
+// witness and enumeration-relevant stats are byte-identical to a
+// single process running the whole check (see internal/core
+// partition.go for the determinism argument). Each scatter leg is
+// retried once on connection failure; an HTTP-level failure (a
+// backend refusing or erroring) fails the whole fan-out — a missing
+// slice leaves the merge unsound.
+type Coordinator struct {
+	// Backends are the base URLs the slices go to; len(Backends) is K.
+	Backends []string
+	// Client is the HTTP client for the scatter legs (default
+	// http.DefaultClient).
+	Client *http.Client
+}
+
+// client resolves the HTTP client.
+func (c *Coordinator) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return http.DefaultClient
+}
+
+// Check fans req out as len(Backends) partition slices and merges the
+// results into the CheckResponse a single backend would have produced
+// for POST /v1/rcdp. The returned status is the HTTP status the
+// caller should relay (200, or 502/5xx on fan-out failure).
+func (c *Coordinator) Check(ctx context.Context, req *CheckRequest) (*CheckResponse, int, error) {
+	k := len(c.Backends)
+	if k == 0 {
+		return nil, http.StatusBadGateway, fmt.Errorf("coordinator: no backends")
+	}
+	partials := make([]*PartialResponse, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			preq := &PartialRequest{CheckRequest: *req, Slices: k, Slice: i}
+			partials[i], errs[i] = c.scatter(ctx, c.Backends[i], preq)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, http.StatusBadGateway, fmt.Errorf("slice %d (%s): %w", i, c.Backends[i], err)
+		}
+	}
+	return mergePartials(partials)
+}
+
+// scatter posts one slice request to a backend, retrying once on
+// connection failure (the request is idempotent and the body is
+// buffered). HTTP error statuses are not retried — the backend is
+// alive and has spoken.
+func (c *Coordinator) scatter(ctx context.Context, backend string, preq *PartialRequest) (*PartialResponse, error) {
+	body, err := json.Marshal(preq)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.post(ctx, backend+"/v1/partial", body)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		resp, err = c.post(ctx, backend+"/v1/partial", body)
+		if err != nil {
+			return nil, err
+		}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return nil, fmt.Errorf("backend status %d: %s", resp.StatusCode, e.Error)
+	}
+	var out PartialResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("bad partial response: %w", err)
+	}
+	return &out, nil
+}
+
+func (c *Coordinator) post(ctx context.Context, url string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.client().Do(req)
+}
+
+// mergePartials converts the wire-form slices back to core slice
+// results, merges them, and reassembles the winning slice's witness
+// JSON (the extension text round-trips verbatim — re-parsing it on the
+// coordinator would need the catalog schemas the coordinator does not
+// hold).
+func mergePartials(partials []*PartialResponse) (*CheckResponse, int, error) {
+	slices := make([]*core.SliceResult, len(partials))
+	for i, p := range partials {
+		sr, err := p.sliceResult()
+		if err != nil {
+			return nil, http.StatusBadGateway, fmt.Errorf("slice %d: %w", p.Slice, err)
+		}
+		slices[i] = sr
+	}
+	merged, err := core.MergeSlices(slices)
+	if err != nil {
+		return nil, http.StatusBadGateway, err
+	}
+	out := &CheckResponse{
+		Verdict: merged.Verdict.String(),
+		Reason:  merged.Reason.String(),
+		Stats:   statsJSON(merged.Stats),
+	}
+	if merged.Verdict == core.VerdictIncomplete {
+		// The winning slice is the one whose claim is the minimum —
+		// exactly what MergeSlices arbitrated on.
+		winner := partials[0]
+		for _, p := range partials[1:] {
+			if p.Claim < winner.Claim {
+				winner = p
+			}
+		}
+		if winner.Witness == nil {
+			return nil, http.StatusBadGateway, fmt.Errorf("merged incomplete but winning slice carries no witness")
+		}
+		out.Extension = winner.Witness.Extension
+		out.NewTuple = winner.Witness.NewTuple
+	}
+	return out, http.StatusOK, nil
+}

@@ -119,11 +119,33 @@ func httpErrorf(status int, format string, args ...any) error {
 	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
 }
 
-// checkHandler wraps one check endpoint with the shared serving
-// machinery: method filtering, drain refusal, admission control, the
-// worker slot, request decoding/resolution and response/metric/trace
-// emission. run executes the already-resolved check.
-func (s *Server) checkHandler(endpoint string, run func(ctx context.Context, in *checkInput) (*CheckResponse, error)) http.HandlerFunc {
+// retryAfterHeader attaches the Retry-After hint the refusal statuses
+// (429 queue-full, 503 draining) carry so clients and routers back off
+// instead of hammering.
+func (s *Server) retryAfterHeader(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+}
+
+// refuseDraining answers a request that arrived after Drain began:
+// 503 with the same Retry-After hint as admission 429s, so routed
+// clients treat a dying backend like a saturated one and retry
+// elsewhere after the hint instead of immediately.
+func (s *Server) refuseDraining(w http.ResponseWriter, id string) {
+	obs.ServeRejections.Inc("draining")
+	s.retryAfterHeader(w)
+	writeError(w, id, http.StatusServiceUnavailable, "server is draining")
+}
+
+// handleAdmitted wraps an endpoint with the shared serving machinery:
+// method filtering, drain refusal, body decoding, admission control,
+// queue-occupancy accounting and the worker slot. serve runs inside
+// the slot with the decoded request and is responsible for the
+// response body and any endpoint-specific metrics; the
+// admission-to-response latency observation is shared. Every endpoint
+// — single checks, batches and partition slices alike — goes through
+// this one path, so the admission bound governs them uniformly (a
+// batch occupies one slot for its whole run).
+func handleAdmitted[Req any](s *Server, endpoint string, serve func(ctx context.Context, id string, req *Req, w http.ResponseWriter)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		obs.ServeRequests.Inc(endpoint)
 		id := s.nextRequestID()
@@ -133,15 +155,14 @@ func (s *Server) checkHandler(endpoint string, run func(ctx context.Context, in 
 			return
 		}
 		if s.Draining() {
-			obs.ServeRejections.Inc("draining")
-			writeError(w, id, http.StatusServiceUnavailable, "server is draining")
+			s.refuseDraining(w, id)
 			return
 		}
 		// Decode before admission: consuming the body lets net/http
 		// surface client disconnects through the request context while
 		// the request waits for a worker slot; the expensive work
 		// (textq parsing, the check itself) stays inside the slot.
-		var req CheckRequest
+		var req Req
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
@@ -150,7 +171,7 @@ func (s *Server) checkHandler(endpoint string, run func(ctx context.Context, in 
 		}
 		if !s.admit() {
 			obs.ServeRejections.Inc("queue-full")
-			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+			s.retryAfterHeader(w)
 			writeError(w, id, http.StatusTooManyRequests,
 				"admission queue is full (capacity %d); retry later", s.capacity)
 			return
@@ -163,11 +184,16 @@ func (s *Server) checkHandler(endpoint string, run func(ctx context.Context, in 
 		}
 
 		// Wait for an execution slot; a client that goes away while
-		// queued releases its admission slot without running.
+		// queued releases its admission slot without running. The
+		// occupancy gauge covers exactly this wait, so its value is the
+		// admitted-but-not-yet-executing count.
 		ctx := r.Context()
+		obs.ServeQueueOccupancy.Add(1)
 		select {
 		case s.sem <- struct{}{}:
+			obs.ServeQueueOccupancy.Add(-1)
 		case <-ctx.Done():
+			obs.ServeQueueOccupancy.Add(-1)
 			obs.ServeRejections.Inc("abandoned")
 			return
 		}
@@ -176,16 +202,20 @@ func (s *Server) checkHandler(endpoint string, run func(ctx context.Context, in 
 			s.beforeCheck()
 		}
 
-		resp, err := s.process(ctx, &req, run)
+		serve(ctx, id, &req, w)
+		obs.ServeSeconds.Observe(time.Since(start).Seconds())
+	}
+}
+
+// checkHandler builds one single-check endpoint on the shared
+// admission machinery; run executes the already-resolved check.
+func (s *Server) checkHandler(endpoint string, run func(ctx context.Context, in *checkInput) (*CheckResponse, error)) http.HandlerFunc {
+	return handleAdmitted(s, endpoint, func(ctx context.Context, id string, req *CheckRequest, w http.ResponseWriter) {
+		resp, err := s.process(ctx, req, run)
 		status := http.StatusOK
 		verdict := ""
 		if err != nil {
-			var he *httpError
-			if errors.As(err, &he) {
-				status = he.status
-			} else {
-				status = http.StatusUnprocessableEntity
-			}
+			status = statusOf(err)
 			writeError(w, id, status, "%s", err.Error())
 		} else {
 			resp.RequestID = id
@@ -193,7 +223,6 @@ func (s *Server) checkHandler(endpoint string, run func(ctx context.Context, in 
 			obs.ServeVerdicts.Inc(verdict)
 			writeJSON(w, http.StatusOK, resp)
 		}
-		obs.ServeSeconds.Observe(time.Since(start).Seconds())
 		if obs.Tracing() {
 			f := map[string]any{"id": id, "endpoint": endpoint, "status": status}
 			if verdict != "" {
@@ -201,7 +230,18 @@ func (s *Server) checkHandler(endpoint string, run func(ctx context.Context, in 
 			}
 			obs.Emit("http_response", f)
 		}
+	})
+}
+
+// statusOf maps a processing error to its HTTP status: explicit
+// httpErrors keep theirs, anything else is a 422 (the request was
+// well-formed but the check could not run on it).
+func statusOf(err error) int {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status
 	}
+	return http.StatusUnprocessableEntity
 }
 
 // process resolves and runs one admitted check request.
@@ -394,8 +434,7 @@ func (s *Server) catalogHandler(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, infos)
 	case http.MethodPost:
 		if s.Draining() {
-			obs.ServeRejections.Inc("draining")
-			writeError(w, id, http.StatusServiceUnavailable, "server is draining")
+			s.refuseDraining(w, id)
 			return
 		}
 		var req CatalogRequest

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/textq"
+)
+
+// PartialRequest is the body of POST /v1/partial: one partition slice
+// of an RCDP check. The problem parts are a plain CheckRequest; Slices
+// and Slice name the slice of the K-way deterministic split this
+// backend should evaluate (core.PartitionPlan).
+type PartialRequest struct {
+	CheckRequest
+	Slices int `json:"slices"`
+	Slice  int `json:"slice"`
+}
+
+// WitnessJSON is a slice's incompleteness counterexample.
+type WitnessJSON struct {
+	Extension string   `json:"extension"`
+	NewTuple  []string `json:"new_tuple,omitempty"`
+	Disjunct  int      `json:"disjunct"`
+}
+
+// PartialResponse is the wire form of one core.SliceResult. Claim is
+// the slice's smallest arbitration key (core.NoClaim when none) — an
+// int64 that survives the JSON round-trip exactly, which is what the
+// coordinator's min-merge relies on. Setup and Branches carry the
+// stats fragments MergeSlices reassembles into the single-process
+// totals.
+type PartialResponse struct {
+	RequestID string             `json:"request_id"`
+	Slices    int                `json:"slices"`
+	Slice     int                `json:"slice"`
+	Claim     int64              `json:"claim"`
+	Verdict   string             `json:"verdict"`
+	Reason    string             `json:"reason,omitempty"`
+	Setup     *StatsJSON         `json:"setup,omitempty"`
+	Branches  []core.BranchStats `json:"branches,omitempty"`
+	Witness   *WitnessJSON       `json:"witness,omitempty"`
+	ElapsedMS float64            `json:"elapsed_ms"`
+}
+
+// servePartial evaluates one partition slice. Only RCDP fans out this
+// way (RCQP/bounded have no branch-keyed arbitration), and the slice
+// runs sequentially — the cluster's parallelism is across slices.
+func (s *Server) servePartial(ctx context.Context, id string, req *PartialRequest, w http.ResponseWriter) {
+	plan := core.PartitionPlan{Slices: req.Slices, Slice: req.Slice}
+	if err := plan.Validate(); err != nil {
+		writeError(w, id, http.StatusBadRequest, "%v", err)
+		return
+	}
+	in, err := s.resolve(&req.CheckRequest)
+	if err != nil {
+		writeError(w, id, statusOf(err), "%s", err.Error())
+		return
+	}
+	if err := decidable(in); err != nil {
+		writeError(w, id, statusOf(err), "%s", err.Error())
+		return
+	}
+	ck := core.Checker{Workers: 1, Budget: in.budget}
+	res, err := ck.RCDPSliceCtx(ctx, in.q, in.d, in.dm, in.v, plan)
+	if err != nil {
+		writeError(w, id, statusOf(err), "%s", err.Error())
+		return
+	}
+	obs.ServeVerdicts.Inc(res.Verdict.String())
+	writeJSON(w, http.StatusOK, partialResponse(id, res))
+}
+
+// partialResponse converts a slice result to its wire form.
+func partialResponse(id string, res *core.SliceResult) *PartialResponse {
+	out := &PartialResponse{
+		RequestID: id,
+		Slices:    res.Plan.Slices,
+		Slice:     res.Plan.Slice,
+		Claim:     res.Claim,
+		Verdict:   res.Verdict.String(),
+		Reason:    res.Reason.String(),
+		Setup:     statsJSON(res.Setup),
+		Branches:  res.Branches,
+		ElapsedMS: float64(res.Elapsed) / 1e6,
+	}
+	if res.Witness != nil {
+		out.Witness = &WitnessJSON{
+			Extension: textq.FormatDatabase(res.Witness.Extension),
+			NewTuple:  tupleJSON(res.Witness.NewTuple),
+			Disjunct:  res.Witness.Disjunct,
+		}
+	}
+	return out
+}
+
+// sliceResult converts a wire-form partial response back into the
+// core.SliceResult skeleton MergeSlices arbitrates on. The witness
+// Extension/NewTuple stay in their wire form (the coordinator reuses
+// the winning slice's JSON verbatim); only the merge-relevant fields —
+// plan, claim, verdict, reason, stats fragments and the witness
+// disjunct — are reconstructed.
+func (p *PartialResponse) sliceResult() (*core.SliceResult, error) {
+	verdict, err := verdictFromString(p.Verdict)
+	if err != nil {
+		return nil, err
+	}
+	reason, err := reasonFromString(p.Reason)
+	if err != nil {
+		return nil, err
+	}
+	out := &core.SliceResult{
+		Plan:     core.PartitionPlan{Slices: p.Slices, Slice: p.Slice},
+		Claim:    p.Claim,
+		Verdict:  verdict,
+		Reason:   reason,
+		Branches: p.Branches,
+		Elapsed:  time.Duration(p.ElapsedMS * float64(time.Millisecond)),
+	}
+	if p.Setup != nil {
+		out.Setup = core.BudgetStats{
+			Valuations: p.Setup.Valuations,
+			JoinRows:   p.Setup.JoinRows,
+			Tuples:     p.Setup.Tuples,
+		}
+	}
+	if p.Witness != nil {
+		out.Witness = &core.RCDPResult{Verdict: core.VerdictIncomplete, Disjunct: p.Witness.Disjunct}
+	}
+	return out, nil
+}
+
+// verdictFromString parses the wire verdict vocabulary.
+func verdictFromString(s string) (core.Verdict, error) {
+	switch s {
+	case "complete":
+		return core.VerdictComplete, nil
+	case "incomplete":
+		return core.VerdictIncomplete, nil
+	case "unknown":
+		return core.VerdictUnknown, nil
+	default:
+		return 0, fmt.Errorf("unknown verdict %q", s)
+	}
+}
+
+// reasonFromString parses the wire reason vocabulary.
+func reasonFromString(s string) (core.Reason, error) {
+	switch s {
+	case "":
+		return core.ReasonNone, nil
+	case "cancelled":
+		return core.ReasonCancelled, nil
+	case "deadline":
+		return core.ReasonDeadline, nil
+	case "valuations":
+		return core.ReasonValuations, nil
+	case "join-rows":
+		return core.ReasonJoinRows, nil
+	case "tuples":
+		return core.ReasonTuples, nil
+	default:
+		return 0, fmt.Errorf("unknown reason %q", s)
+	}
+}

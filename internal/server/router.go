@@ -1,0 +1,493 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// RouterConfig sizes the relserve router mode (relserve -route): a
+// stateless HTTP tier in front of a set of relserve backends.
+type RouterConfig struct {
+	// Backends are the base URLs of the backend relserve processes
+	// (e.g. http://127.0.0.1:8081). Required.
+	Backends []string
+	// Fanout, when set, answers POST /v1/rcdp by scattering the check
+	// across ALL backends as partition slices (/v1/partial) and merging
+	// the results, instead of forwarding the whole request to one
+	// backend. The merged verdict is identical to a single process
+	// (core.MergeSlices).
+	Fanout bool
+	// RetryAfter is the hint attached to 503 responses while the router
+	// drains (default 1s).
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds buffered request bodies (default 16 MiB).
+	MaxBodyBytes int64
+	// Client is the HTTP client used for forwards, fan-out legs and
+	// health probes (default http.DefaultClient).
+	Client *http.Client
+}
+
+// Router is the relserve scale-out front door: it consistent-hashes
+// each request's routing key (the catalog name when present, else the
+// query text) onto a backend, so all requests against one catalog land
+// on the process that holds that catalog's warm caches — the p(Dm)
+// memo, the column indexes and the compiled-tableau cache. Forwards
+// are retried once on connection failure; catalog registrations are
+// broadcast to every backend so any of them can serve any catalog if
+// the ring moves.
+type Router struct {
+	cfg   RouterConfig
+	ring  []ringPoint
+	coord *Coordinator
+	mux   *http.ServeMux
+
+	draining atomic.Bool
+	wg       sync.WaitGroup
+	reqSeq   atomic.Int64
+
+	health []backendHealth // parallel to cfg.Backends
+}
+
+// backendHealth is the router's per-backend forward ledger, surfaced
+// on GET /v1/backends next to a live readiness probe.
+type backendHealth struct {
+	forwards atomic.Int64
+	retries  atomic.Int64
+	failures atomic.Int64
+}
+
+// ringPoint is one virtual node of the consistent-hash ring.
+type ringPoint struct {
+	hash    uint64
+	backend int
+}
+
+// ringVnodes is the virtual-node count per backend: enough to spread
+// catalogs evenly across a handful of backends while keeping ring
+// construction and lookup trivial.
+const ringVnodes = 64
+
+// NewRouter builds a Router over cfg.Backends.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("router: at least one backend is required")
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 16 << 20
+	}
+	rt := &Router{
+		cfg:    cfg,
+		coord:  &Coordinator{Backends: cfg.Backends, Client: cfg.Client},
+		health: make([]backendHealth, len(cfg.Backends)),
+	}
+	for i, b := range cfg.Backends {
+		for v := 0; v < ringVnodes; v++ {
+			rt.ring = append(rt.ring, ringPoint{hash: fnvHash(b + "#" + strconv.Itoa(v)), backend: i})
+		}
+	}
+	sort.Slice(rt.ring, func(i, j int) bool { return rt.ring[i].hash < rt.ring[j].hash })
+
+	rt.mux = http.NewServeMux()
+	if cfg.Fanout {
+		rt.mux.HandleFunc("/v1/rcdp", rt.fanoutHandler)
+	} else {
+		rt.mux.HandleFunc("/v1/rcdp", rt.forwardHandler("rcdp"))
+	}
+	rt.mux.HandleFunc("/v1/rcqp", rt.forwardHandler("rcqp"))
+	rt.mux.HandleFunc("/v1/bounded", rt.forwardHandler("bounded"))
+	rt.mux.HandleFunc("/v1/batch", rt.forwardHandler("batch"))
+	rt.mux.HandleFunc("/v1/partial", rt.forwardHandler("partial"))
+	rt.mux.HandleFunc("/v1/catalog", rt.catalogHandler)
+	rt.mux.HandleFunc("/v1/backends", rt.backendsHandler)
+	rt.mux.HandleFunc("/healthz", obs.HealthzHandler)
+	rt.mux.HandleFunc("/readyz", rt.readyzHandler)
+	return rt, nil
+}
+
+// Handler returns the router's HTTP surface.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Draining reports whether Drain has begun.
+func (rt *Router) Draining() bool { return rt.draining.Load() }
+
+// Drain refuses new requests (503 + Retry-After, mirroring backend
+// drains) and waits for in-flight forwards to finish or ctx to expire.
+func (rt *Router) Drain(ctx context.Context) error {
+	rt.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		rt.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (rt *Router) client() *http.Client {
+	if rt.cfg.Client != nil {
+		return rt.cfg.Client
+	}
+	return http.DefaultClient
+}
+
+func (rt *Router) nextRequestID() string {
+	return fmt.Sprintf("g%06d", rt.reqSeq.Add(1))
+}
+
+// refuse answers a request that arrived after Drain began, with the
+// same shape a draining backend uses.
+func (rt *Router) refuse(w http.ResponseWriter, id string) {
+	obs.ServeRejections.Inc("draining")
+	w.Header().Set("Retry-After", strconv.Itoa(int((rt.cfg.RetryAfter+time.Second-1)/time.Second)))
+	writeError(w, id, http.StatusServiceUnavailable, "router is draining")
+}
+
+// fnvHash is the ring hash: 64-bit FNV-1a.
+func fnvHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// pick maps a routing key to a backend index: the first ring point at
+// or after the key's hash, wrapping at the top.
+func (rt *Router) pick(key string) int {
+	h := fnvHash(key)
+	i := sort.Search(len(rt.ring), func(i int) bool { return rt.ring[i].hash >= h })
+	if i == len(rt.ring) {
+		i = 0
+	}
+	return rt.ring[i].backend
+}
+
+// routeKey extracts the consistent-hash key from a buffered request
+// body with a tolerant decode: the catalog reference when present
+// (check and batch requests), the entry name (catalog registrations),
+// else the query text. Unknown fields are ignored — the backend
+// revalidates strictly.
+func routeKey(body []byte) string {
+	var probe struct {
+		Catalog string `json:"catalog"`
+		Name    string `json:"name"`
+		Query   string `json:"query"`
+	}
+	_ = json.Unmarshal(body, &probe)
+	switch {
+	case probe.Catalog != "":
+		return probe.Catalog
+	case probe.Name != "":
+		return probe.Name
+	default:
+		return probe.Query
+	}
+}
+
+// forwardHandler forwards one endpoint to the ring-picked backend.
+func (rt *Router) forwardHandler(endpoint string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		obs.ServeRequests.Inc(endpoint)
+		id := rt.nextRequestID()
+		w.Header().Set("X-Request-Id", id)
+		if r.Method != http.MethodPost {
+			writeError(w, id, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		if rt.Draining() {
+			rt.refuse(w, id)
+			return
+		}
+		rt.wg.Add(1)
+		defer rt.wg.Done()
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+		if err != nil {
+			writeError(w, id, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		b := rt.pick(routeKey(body))
+		resp, err := rt.forward(r.Context(), b, r.URL.Path, r.Header.Get("Content-Type"), body)
+		if err != nil {
+			writeError(w, id, http.StatusBadGateway,
+				"backend %s: %v", rt.cfg.Backends[b], err)
+			return
+		}
+		defer resp.Body.Close()
+		relay(w, resp)
+	}
+}
+
+// forward posts a buffered body to one backend, retrying once on
+// connection failure (the body is buffered, so the resend is safe; an
+// HTTP status from the backend — any status — means it is alive and is
+// relayed, not retried).
+func (rt *Router) forward(ctx context.Context, backend int, path, contentType string, body []byte) (*http.Response, error) {
+	name := rt.cfg.Backends[backend]
+	rt.health[backend].forwards.Add(1)
+	obs.RouteRequests.Inc(name)
+	resp, err := rt.post(ctx, name+path, contentType, body)
+	if err != nil && ctx.Err() == nil {
+		rt.health[backend].retries.Add(1)
+		obs.RouteRetries.Inc(name)
+		resp, err = rt.post(ctx, name+path, contentType, body)
+	}
+	if err != nil {
+		rt.health[backend].failures.Add(1)
+		obs.RouteFailures.Inc(name)
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (rt *Router) post(ctx context.Context, url, contentType string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	return rt.client().Do(req)
+}
+
+// relay copies a backend response through: status, the content headers
+// and a flushing body copy, so streamed batch JSONL lines reach the
+// client as the backend emits them.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	if v := resp.Header.Get("X-Request-Id"); v != "" {
+		w.Header().Set("X-Backend-Request-Id", v)
+	}
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// fanoutHandler answers POST /v1/rcdp by scattering partition slices
+// across all backends and merging (router -fanout mode).
+func (rt *Router) fanoutHandler(w http.ResponseWriter, r *http.Request) {
+	obs.ServeRequests.Inc("rcdp")
+	id := rt.nextRequestID()
+	w.Header().Set("X-Request-Id", id)
+	if r.Method != http.MethodPost {
+		writeError(w, id, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if rt.Draining() {
+		rt.refuse(w, id)
+		return
+	}
+	rt.wg.Add(1)
+	defer rt.wg.Done()
+	var req CheckRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, id, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	resp, status, err := rt.coord.Check(r.Context(), &req)
+	if err != nil {
+		writeError(w, id, status, "fan-out: %v", err)
+		return
+	}
+	resp.RequestID = id
+	obs.ServeVerdicts.Inc(resp.Verdict)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// catalogHandler broadcasts registrations (POST) to every backend —
+// the ring may move keys when backends come and go, so each backend
+// must hold every catalog — and fans a GET in to the union of the
+// backends' listings.
+func (rt *Router) catalogHandler(w http.ResponseWriter, r *http.Request) {
+	obs.ServeRequests.Inc("catalog")
+	id := rt.nextRequestID()
+	w.Header().Set("X-Request-Id", id)
+	switch r.Method {
+	case http.MethodGet:
+		byName := map[string]CatalogInfo{}
+		for i := range rt.cfg.Backends {
+			infos, err := rt.listCatalog(r.Context(), i)
+			if err != nil {
+				writeError(w, id, http.StatusBadGateway,
+					"backend %s: %v", rt.cfg.Backends[i], err)
+				return
+			}
+			for _, info := range infos {
+				if _, ok := byName[info.Name]; !ok {
+					byName[info.Name] = info
+				}
+			}
+		}
+		names := make([]string, 0, len(byName))
+		for n := range byName {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		out := make([]CatalogInfo, 0, len(names))
+		for _, n := range names {
+			out = append(out, byName[n])
+		}
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		if rt.Draining() {
+			rt.refuse(w, id)
+			return
+		}
+		rt.wg.Add(1)
+		defer rt.wg.Done()
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+		if err != nil {
+			writeError(w, id, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		var first []byte
+		status := http.StatusCreated
+		for i := range rt.cfg.Backends {
+			resp, err := rt.forward(r.Context(), i, "/v1/catalog", "application/json", body)
+			if err != nil {
+				writeError(w, id, http.StatusBadGateway,
+					"backend %s: %v", rt.cfg.Backends[i], err)
+				return
+			}
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			if resp.StatusCode >= 300 {
+				w.Header().Set("Content-Type", "application/json; charset=utf-8")
+				w.WriteHeader(resp.StatusCode)
+				_, _ = w.Write(b)
+				return
+			}
+			if first == nil {
+				first, status = b, resp.StatusCode
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(status)
+		_, _ = w.Write(first)
+	default:
+		writeError(w, id, http.StatusMethodNotAllowed, "GET or POST only")
+	}
+}
+
+// listCatalog fetches one backend's catalog listing.
+func (rt *Router) listCatalog(ctx context.Context, backend int) ([]CatalogInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rt.cfg.Backends[backend]+"/v1/catalog", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := rt.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("catalog listing: status %d", resp.StatusCode)
+	}
+	var infos []CatalogInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// BackendStatus is one row of GET /v1/backends: a live readiness probe
+// plus the router's forward ledger for that backend.
+type BackendStatus struct {
+	Backend  string `json:"backend"`
+	Ready    bool   `json:"ready"`
+	Forwards int64  `json:"forwards"`
+	Retries  int64  `json:"retries"`
+	Failures int64  `json:"failures"`
+}
+
+// backendsHandler reports per-backend health: a live /readyz probe and
+// the forward/retry/failure counters.
+func (rt *Router) backendsHandler(w http.ResponseWriter, r *http.Request) {
+	id := rt.nextRequestID()
+	w.Header().Set("X-Request-Id", id)
+	if r.Method != http.MethodGet {
+		writeError(w, id, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	out := make([]BackendStatus, len(rt.cfg.Backends))
+	var wg sync.WaitGroup
+	for i, b := range rt.cfg.Backends {
+		out[i] = BackendStatus{
+			Backend:  b,
+			Forwards: rt.health[i].forwards.Load(),
+			Retries:  rt.health[i].retries.Load(),
+			Failures: rt.health[i].failures.Load(),
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i].Ready = rt.probe(r.Context(), i)
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// probe checks one backend's /readyz.
+func (rt *Router) probe(ctx context.Context, backend int) bool {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rt.cfg.Backends[backend]+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.client().Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	return resp.StatusCode == http.StatusOK
+}
+
+func (rt *Router) readyzHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if rt.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("draining\n"))
+		return
+	}
+	_, _ = w.Write([]byte("ok\n"))
+}

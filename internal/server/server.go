@@ -119,6 +119,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/rcdp", s.checkHandler("rcdp", s.runRCDP))
 	s.mux.HandleFunc("/v1/rcqp", s.checkHandler("rcqp", s.runRCQP))
 	s.mux.HandleFunc("/v1/bounded", s.checkHandler("bounded", s.runBounded))
+	s.mux.HandleFunc("/v1/batch", handleAdmitted(s, "batch", s.serveBatch))
+	s.mux.HandleFunc("/v1/partial", handleAdmitted(s, "partial", s.servePartial))
 	s.mux.HandleFunc("/v1/catalog", s.catalogHandler)
 	s.mux.HandleFunc("/healthz", obs.HealthzHandler)
 	s.mux.HandleFunc("/readyz", s.readyzHandler)
