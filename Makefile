@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-smoke bench-workers fmt-check vuln fuzz-smoke cover-check doc-sync examples-build server-smoke cluster-smoke
+.PHONY: ci build vet test race bench bench-smoke bench-workers fmt-check vuln fuzz-smoke cover-check doc-sync examples-build server-smoke cluster-smoke mutate-smoke
 
-ci: fmt-check vet build examples-build test race bench-smoke cover-check doc-sync fuzz-smoke vuln server-smoke cluster-smoke
+ci: fmt-check vet build examples-build test race bench-smoke cover-check doc-sync fuzz-smoke vuln server-smoke cluster-smoke mutate-smoke
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,13 @@ server-smoke:
 # transport errors and zero drops.
 cluster-smoke:
 	sh scripts/cluster_smoke.sh
+
+# Incremental-maintenance smoke: register a maintained catalog with a
+# watched incomplete query, insert the missing support edge through
+# POST /v1/catalog/{name}/insert, and assert the maintained verdict
+# flips to complete in place (no restart, no re-posted check).
+mutate-smoke:
+	sh scripts/mutate_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -106,6 +113,7 @@ fuzz-smoke:
 	$(GO) test ./internal/textq/ -run='^$$' -fuzz=FuzzParseDatabase -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/textq/ -run='^$$' -fuzz=FuzzParseQuery -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/textq/ -run='^$$' -fuzz=FuzzParseConstraints -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/textq/ -run='^$$' -fuzz=FuzzMutationBatch -fuzztime=$(FUZZTIME)
 
 # Coverage floors for the decision-procedure packages (set ~2 points
 # under the measured coverage at the time the floor was introduced so
@@ -121,4 +129,5 @@ cover-check:
 	}; \
 	check ./internal/core/ 87; \
 	check ./internal/cq/ 84.5; \
-	check ./internal/cc/ 84.5
+	check ./internal/cc/ 84.5; \
+	check ./internal/server/ 81

@@ -6,7 +6,7 @@
 // undecidable row it validates the executable reduction on bounded
 // instances. See EXPERIMENTS.md for the recorded results.
 //
-// Usage: relbench [-table 0|1|2] [-quick] [-workers N] [-json] [-noindex]
+// Usage: relbench [-table 0|1|2|3] [-quick] [-workers N] [-json] [-noindex]
 //
 //	[-nointern] [-timeout D] [-steps N] [-metrics addr] [-trace file]
 //
@@ -98,7 +98,7 @@ func timed(f func() error) (time.Duration, int64, error) {
 }
 
 func main() {
-	table := flag.Int("table", 0, "which table to regenerate (1, 2, or 0 for both)")
+	table := flag.Int("table", 0, "which table to regenerate (1, 2, 3 = incremental maintenance, or 0 for all)")
 	quick := flag.Bool("quick", false, "smaller sweeps")
 	workers := flag.Int("workers", 0, "valuation-search workers (0 = GOMAXPROCS, 1 = sequential)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per governed check (0 = unlimited)")
@@ -146,6 +146,11 @@ func main() {
 	}
 	if *table == 0 || *table == 2 {
 		if err := tableII(*quick); err != nil {
+			fail(err)
+		}
+	}
+	if *table == 0 || *table == 3 {
+		if err := tableIncremental(*quick); err != nil {
 			fail(err)
 		}
 	}
@@ -418,6 +423,127 @@ func sweepEFO() (time.Duration, error) {
 	}
 	record("I", "efo-dnf", 0, dur, allocs, nil, r.Verdict.String(), r.Reason)
 	return dur, nil
+}
+
+// ---------------------------------------------------------------------
+// Incremental maintenance — RecheckDelta vs cold RCDP
+// ---------------------------------------------------------------------
+
+// tableIncremental benchmarks the catalog-mutation maintenance path on
+// the CRM scenario. The cold full decision procedure is the baseline;
+// a master-side batch of duplicate tuples passes the extensional-
+// invisibility gate and rides the cached verdict through RecheckDelta
+// (at most a witness revalidation of work); a batch carrying fresh
+// values fails the gate and falls through to a cold re-search over the
+// incrementally patched indexes. Every recheck verdict is oracle-tested
+// against an independent cold rerun over identically mutated data, and
+// the gate-hit path must beat the cold baseline by at least 5×.
+func tableIncremental(quick bool) error {
+	header("Incremental maintenance — RecheckDelta vs cold RCDP")
+	customers := 400
+	if quick {
+		customers = 100
+	}
+	cfg := mdm.DefaultConfig()
+	cfg.DomesticCustomers = customers
+	cfg.Employees = customers / 10
+	cfg.Completeness = 1.0
+	build := func() (*mdm.Scenario, *cc.Set) {
+		return mdm.Generate(cfg), cc.NewSet(mdm.Phi0(), mdm.Phi1(cfg.MaxSupport))
+	}
+
+	// Cold baseline: the full decision procedure from scratch.
+	s, vset := build()
+	q := mdm.Q0("908")
+	var prev *core.RCDPResult
+	durCold, allocs, err := timed(func() error {
+		var e error
+		prev, e = checker.RCDPCtx(context.Background(), q, s.D, s.Dm, vset)
+		return e
+	})
+	if err != nil {
+		return err
+	}
+	record("inc", "crm-cold", customers, durCold, allocs, nil, prev.Verdict.String(), prev.Reason)
+	row("cold RCDP          |DCust| = %4d: %12v  (%s)", customers, durCold, prev.Verdict)
+
+	// oracle reruns the cold procedure on a fresh scenario with the same
+	// deltas applied and reports whether the verdicts agree.
+	oracle := func(got *core.RCDPResult, deltas ...*core.Delta) (*bool, error) {
+		s2, v2 := build()
+		for _, dl := range deltas {
+			if _, _, err := dl.Apply(s2.D, s2.Dm, v2); err != nil {
+				return nil, err
+			}
+		}
+		want, err := checker.RCDPCtx(context.Background(), mdm.Q0("908"), s2.D, s2.Dm, v2)
+		if err != nil {
+			return nil, err
+		}
+		agree := want.Verdict == got.Verdict
+		return &agree, nil
+	}
+
+	// Gate hit: duplicate master tuples stay inside every pre-batch
+	// p(Dm) projection and the active domain, so the cached verdict is
+	// reused without re-searching.
+	dup := append([]relation.Tuple(nil), s.Dm.Instance(mdm.DCust).Tuples()[:4]...)
+	dlDup := &core.Delta{Master: true, Inserts: map[string][]relation.Tuple{mdm.DCust: dup}}
+	var res *core.RCDPResult
+	var reused bool
+	durReuse, allocs, err := timed(func() error {
+		var e error
+		res, reused, e = checker.RecheckDeltaCtx(context.Background(), q, s.D, s.Dm, vset, prev, dlDup)
+		return e
+	})
+	if err != nil {
+		return err
+	}
+	if !reused {
+		return fmt.Errorf("incremental: duplicate master batch missed the invisibility gate")
+	}
+	agree, err := oracle(res, dlDup)
+	if err != nil {
+		return err
+	}
+	if !*agree {
+		return fmt.Errorf("incremental: reused verdict %s disagrees with the cold oracle", res.Verdict)
+	}
+	record("inc", "crm-recheck-reused", customers, durReuse, allocs, agree, res.Verdict.String(), res.Reason)
+	row("recheck (reused)   |ΔDm|  = %4d: %12v  (%s, oracle agrees)", len(dup), durReuse, res.Verdict)
+
+	// Gate miss: a tuple with values outside the active domain forces a
+	// cold re-search, but over incrementally patched indexes and memos.
+	fresh := relation.Tuple{"x999", "fresh-customer", "908", "5559999"}
+	dlFresh := &core.Delta{Master: true, Inserts: map[string][]relation.Tuple{mdm.DCust: {fresh}}}
+	var res2 *core.RCDPResult
+	durMiss, allocs, err := timed(func() error {
+		var e error
+		res2, reused, e = checker.RecheckDeltaCtx(context.Background(), q, s.D, s.Dm, vset, res, dlFresh)
+		return e
+	})
+	if err != nil {
+		return err
+	}
+	if reused {
+		return fmt.Errorf("incremental: fresh-value batch must not pass the invisibility gate")
+	}
+	agree2, err := oracle(res2, dlDup, dlFresh)
+	if err != nil {
+		return err
+	}
+	if !*agree2 {
+		return fmt.Errorf("incremental: cold recheck verdict %s disagrees with the cold oracle", res2.Verdict)
+	}
+	record("inc", "crm-recheck-cold", customers, durMiss, allocs, agree2, res2.Verdict.String(), res2.Reason)
+	row("recheck (cold)     |ΔDm|  = %4d: %12v  (%s, oracle agrees)", 1, durMiss, res2.Verdict)
+
+	if durReuse*5 > durCold {
+		return fmt.Errorf("incremental: reused recheck (%v) is not ≥5× faster than cold RCDP (%v)",
+			durReuse, durCold)
+	}
+	row("gate-hit speedup: %.0f× over cold", float64(durCold)/float64(durReuse))
+	return nil
 }
 
 // ---------------------------------------------------------------------

@@ -18,6 +18,14 @@
 // the report separates server pushback (429/503) from client-side
 // saturation. Closed-loop mode (-rate 0) keeps exactly -concurrency
 // requests in flight.
+//
+// With -mutate F (requires -catalog), fraction F of the requests are
+// catalog mutations (POST /v1/catalog/{name}/insert|delete) instead of
+// checks, exercising the incremental-maintenance path under load.
+// -mutate-target db cycles insert/delete pairs over the scenario's
+// d.facts, so the resident database oscillates around its seed;
+// -mutate-target master re-inserts existing dm.facts rows, which are
+// tuple-level no-ops that drive the witness-reuse gate.
 package main
 
 import (
@@ -48,19 +56,21 @@ func main() {
 
 // loadConfig is the parsed flag set.
 type loadConfig struct {
-	targets     []string
-	endpoint    string
-	catalog     string
-	scenario    string
-	query       string
-	n           int
-	duration    time.Duration
-	rate        float64
-	concurrency int
-	batch       int
-	warmup      int
-	timeout     time.Duration
-	jsonPath    string
+	targets      []string
+	endpoint     string
+	catalog      string
+	scenario     string
+	query        string
+	n            int
+	duration     time.Duration
+	rate         float64
+	concurrency  int
+	batch        int
+	warmup       int
+	timeout      time.Duration
+	jsonPath     string
+	mutate       float64
+	mutateTarget string
 }
 
 func run() error {
@@ -79,6 +89,8 @@ func run() error {
 	flag.IntVar(&cfg.warmup, "warmup", 0, "untimed warmup requests before the measured run")
 	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request timeout")
 	flag.StringVar(&cfg.jsonPath, "json", "", "write the JSON report to this file (\"-\" = stdout; default: human summary)")
+	flag.Float64Var(&cfg.mutate, "mutate", 0, "fraction of requests sent as catalog mutations (requires -catalog; 0 = none)")
+	flag.StringVar(&cfg.mutateTarget, "mutate-target", "db", "mutation target: db (insert/delete cycles over d.facts) or master (duplicate inserts from dm.facts)")
 	flag.Parse()
 
 	for _, a := range strings.Split(addr, ",") {
@@ -98,12 +110,22 @@ func run() error {
 	if cfg.n <= 0 && cfg.duration <= 0 {
 		return fmt.Errorf("one of -n or -duration is required")
 	}
+	if cfg.mutate < 0 || cfg.mutate > 1 {
+		return fmt.Errorf("-mutate must be in [0, 1]")
+	}
+	if cfg.mutate > 0 && cfg.catalog == "" {
+		return fmt.Errorf("-mutate requires -catalog (mutations address /v1/catalog/{name}/...)")
+	}
 
 	body, path, err := buildRequest(&cfg)
 	if err != nil {
 		return err
 	}
-	rep, err := drive(&cfg, path, body)
+	muts, err := buildMutations(&cfg)
+	if err != nil {
+		return err
+	}
+	rep, err := drive(&cfg, path, body, muts)
 	if err != nil {
 		return err
 	}
@@ -173,6 +195,56 @@ func buildRequest(cfg *loadConfig) ([]byte, string, error) {
 	return body, path, nil
 }
 
+// mutation is one prebuilt catalog-mutation request.
+type mutation struct {
+	path string
+	body []byte
+}
+
+// buildMutations prebuilds the mutation cycle for -mutate: one
+// single-fact batch per line of the scenario facts file. DB-target
+// mutations come as insert/delete pairs so the resident database
+// oscillates around its seed instead of drifting; master-target
+// mutations are insert-only duplicates of existing rows — tuple-level
+// no-ops that exercise the invisibility gate and verdict reuse.
+func buildMutations(cfg *loadConfig) ([]mutation, error) {
+	if cfg.mutate <= 0 {
+		return nil, nil
+	}
+	factsFile := "d.facts"
+	if cfg.mutateTarget == "master" {
+		factsFile = "dm.facts"
+	} else if cfg.mutateTarget != "db" {
+		return nil, fmt.Errorf("-mutate-target must be db or master")
+	}
+	raw, err := os.ReadFile(filepath.Join(cfg.scenario, factsFile))
+	if err != nil {
+		return nil, fmt.Errorf("-mutate: %w", err)
+	}
+	var facts []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line = strings.TrimSpace(line); line != "" && !strings.HasPrefix(line, "#") {
+			facts = append(facts, line)
+		}
+	}
+	if len(facts) == 0 {
+		return nil, fmt.Errorf("-mutate: %s has no facts", factsFile)
+	}
+	base := "/v1/catalog/" + cfg.catalog + "/"
+	var muts []mutation
+	for _, f := range facts {
+		body, err := json.Marshal(map[string]string{"target": cfg.mutateTarget, "facts": f})
+		if err != nil {
+			return nil, err
+		}
+		muts = append(muts, mutation{path: base + "insert", body: body})
+		if cfg.mutateTarget == "db" {
+			muts = append(muts, mutation{path: base + "delete", body: body})
+		}
+	}
+	return muts, nil
+}
+
 // report is the run summary, emitted as JSON with -json.
 type report struct {
 	Targets       []string         `json:"targets"`
@@ -182,6 +254,9 @@ type report struct {
 	OK            int64            `json:"ok"`
 	Errors        int64            `json:"errors"`
 	Dropped       int64            `json:"dropped"`
+	Mutations     int64            `json:"mutations,omitempty"`
+	MutReused     int64            `json:"mutations_reused,omitempty"`
+	MutRechecked  int64            `json:"mutations_rechecked,omitempty"`
 	Status        map[string]int64 `json:"status"`
 	Verdicts      map[string]int64 `json:"verdicts"`
 	DurationS     float64          `json:"duration_s"`
@@ -202,12 +277,15 @@ type latencySummary struct {
 // private obs registry so a relload embedded next to a server process
 // never collides with the serving metrics.
 type collector struct {
-	mu        sync.Mutex
-	status    map[string]int64
-	verdicts  map[string]int64
-	latencies []float64 // seconds
-	errors    int64
-	hist      *obs.Histogram
+	mu         sync.Mutex
+	status     map[string]int64
+	verdicts   map[string]int64
+	latencies  []float64 // seconds
+	errors     int64
+	mutations  int64
+	mReused    int64
+	mRechecked int64
+	hist       *obs.Histogram
 }
 
 func newCollector() *collector {
@@ -236,12 +314,45 @@ func (c *collector) record(status int, verdicts []string, latency time.Duration,
 	c.hist.Observe(latency.Seconds())
 }
 
+func (c *collector) recordMutation(status int, reused, rechecked int64, latency time.Duration, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		c.errors++
+		return
+	}
+	c.mutations++
+	c.mReused += reused
+	c.mRechecked += rechecked
+	c.status[strconv.Itoa(status)]++
+	c.latencies = append(c.latencies, latency.Seconds())
+	c.hist.Observe(latency.Seconds())
+}
+
 // drive runs the warmup then the measured load and builds the report.
-func drive(cfg *loadConfig, path string, body []byte) (*report, error) {
+func drive(cfg *loadConfig, path string, body []byte, muts []mutation) (*report, error) {
 	client := &http.Client{Timeout: cfg.timeout}
 	next := atomic.Int64{}
+	mutSeq := atomic.Int64{}
+	// Every mutPeriod-th request is a mutation, approximating the
+	// -mutate fraction deterministically.
+	mutPeriod := int64(0)
+	if cfg.mutate > 0 && len(muts) > 0 {
+		mutPeriod = int64(1.0/cfg.mutate + 0.5)
+		if mutPeriod < 1 {
+			mutPeriod = 1
+		}
+	}
 	fire := func(c *collector) {
-		target := cfg.targets[int(next.Add(1)-1)%len(cfg.targets)]
+		i := next.Add(1)
+		target := cfg.targets[int(i-1)%len(cfg.targets)]
+		if mutPeriod > 0 && i%mutPeriod == 0 {
+			m := muts[int(mutSeq.Add(1)-1)%len(muts)]
+			start := time.Now()
+			status, reused, rechecked, err := postMutation(client, target+m.path, m.body)
+			c.recordMutation(status, reused, rechecked, time.Since(start), err)
+			return
+		}
 		start := time.Now()
 		status, verdicts, err := postCheck(client, target+path, body, cfg.batch > 0)
 		c.record(status, verdicts, time.Since(start), err)
@@ -318,14 +429,17 @@ func drive(cfg *loadConfig, path string, body []byte) (*report, error) {
 	elapsed := time.Since(start)
 
 	rep := &report{
-		Targets:   cfg.targets,
-		Endpoint:  cfg.endpoint,
-		Batch:     cfg.batch,
-		Errors:    c.errors,
-		Dropped:   dropped.Load(),
-		Status:    c.status,
-		Verdicts:  c.verdicts,
-		DurationS: elapsed.Seconds(),
+		Targets:      cfg.targets,
+		Endpoint:     cfg.endpoint,
+		Batch:        cfg.batch,
+		Errors:       c.errors,
+		Dropped:      dropped.Load(),
+		Mutations:    c.mutations,
+		MutReused:    c.mReused,
+		MutRechecked: c.mRechecked,
+		Status:       c.status,
+		Verdicts:     c.verdicts,
+		DurationS:    elapsed.Seconds(),
 	}
 	rep.Sent = int64(len(c.latencies)) + c.errors + dropped.Load()
 	rep.OK = c.status["200"]
@@ -336,6 +450,22 @@ func drive(cfg *loadConfig, path string, body []byte) (*report, error) {
 	rep.LatencyMS = summarize(c.latencies)
 	rep.Histogram = bucketCounts(c.hist, c.latencies)
 	return rep, nil
+}
+
+// postMutation fires one catalog mutation and extracts the maintained
+// verdicts' reuse split.
+func postMutation(client *http.Client, url string, body []byte) (int, int64, int64, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Reused    int64 `json:"reused"`
+		Rechecked int64 `json:"rechecked"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out.Reused, out.Rechecked, nil
 }
 
 // postCheck fires one request and extracts status plus verdicts (one
@@ -438,6 +568,10 @@ func (r *report) emit(path string) error {
 		r.Sent, r.OK, r.Errors, r.Dropped, r.DurationS, r.ThroughputRPS)
 	fmt.Printf("relload: latency ms p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
 		r.LatencyMS.P50, r.LatencyMS.P90, r.LatencyMS.P99, r.LatencyMS.Max)
+	if r.Mutations > 0 {
+		fmt.Printf("relload: mutations %d (verdicts reused %d, rechecked %d)\n",
+			r.Mutations, r.MutReused, r.MutRechecked)
+	}
 	for v, n := range r.Verdicts {
 		fmt.Printf("relload: verdict %s: %d\n", v, n)
 	}

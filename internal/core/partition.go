@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/cc"
@@ -64,6 +65,62 @@ func (p PartitionPlan) Validate() error {
 // and every (disjunct, branch) pair is owned by exactly one slice.
 func (p PartitionPlan) Owns(disjunct, branch int) bool {
 	return (disjunct+branch)%p.Slices == p.Slice
+}
+
+// SharedBudget is a cross-slice valuation ledger. Slices of one
+// partitioned check that run in the same process and share a
+// SharedBudget (Checker.SliceBudget) charge one per-disjunct counter
+// between them, so the K-way fan-out trips the MaxValuations cap after
+// the same total number of valuations as the sequential and parallel
+// engines — instead of granting each slice its own cap and letting a
+// K-way run spend up to K× the budget (the per-slice divergence
+// TestPartitionBudgetClaim pins).
+//
+// Budget trips stay merge-deterministic under sharing because the trip
+// claims budgetKey(disjunct), which does not encode the claiming
+// slice. Two caveats are inherent: per-branch BranchStats valuation
+// counts become approximate when slices charge the ledger
+// concurrently (the ledger cannot attribute charges to branches), and
+// near the cap boundary a shared run may exhaust on work the
+// sequential engine would have ordered after the witness — the same
+// boundary caveat the parallel engine documents. Away from the
+// boundary, verdicts and witnesses are identical.
+//
+// The zero value is not usable; create with NewSharedBudget. The
+// ledger is single-use: one partitioned check, then discard.
+type SharedBudget struct {
+	mu   sync.Mutex
+	caps map[int]*budgetCtl
+}
+
+// NewSharedBudget returns an empty ledger for one partitioned check.
+func NewSharedBudget() *SharedBudget {
+	return &SharedBudget{caps: make(map[int]*budgetCtl)}
+}
+
+// disjunct returns the shared controller for one disjunct, creating it
+// with the given cap on first use. The first caller's cap wins; slices
+// of one check always agree on it (it is the checker's
+// effectiveValuations).
+func (sb *SharedBudget) disjunct(di, cap int) *budgetCtl {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if bc, ok := sb.caps[di]; ok {
+		return bc
+	}
+	bc := newBudgetCtl(cap)
+	sb.caps[di] = bc
+	return bc
+}
+
+// sliceBudget resolves the valuation controller rcdpSlice uses for one
+// disjunct: the shared cross-slice ledger when the checker carries
+// one, else a fresh per-slice controller (the legacy divergent mode).
+func (ck *Checker) sliceBudget(di int) *budgetCtl {
+	if ck.SliceBudget != nil {
+		return ck.SliceBudget.disjunct(di, ck.effectiveValuations())
+	}
+	return newBudgetCtl(ck.effectiveValuations())
 }
 
 // NoClaim is the SliceResult.Claim value meaning the slice exhausted
@@ -186,7 +243,7 @@ claims:
 		if search == nil {
 			continue
 		}
-		bud := newBudgetCtl(ck.effectiveValuations())
+		bud := ck.sliceBudget(di)
 		t := prep.tableaux[di]
 		fn := func(b query.Binding) (any, error) {
 			r, err := rcdpWitness(t, di, b, prep.schemas, prep.answerSet, d, dm, v, gate)
@@ -199,7 +256,9 @@ claims:
 			return r, nil
 		}
 		tasks := search.branchTasks(ctl, bud, di, fn)
-		prevVisited := 0
+		// Baseline at the current count: a shared ledger may already
+		// carry other slices' charges, which are not this slice's.
+		prevVisited := bud.count()
 		claimed := false
 		for bi, task := range tasks {
 			if !plan.Owns(di, bi) {

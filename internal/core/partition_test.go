@@ -202,13 +202,16 @@ func TestPartitionMergeUngoverned(t *testing.T) {
 	}
 }
 
-// TestPartitionBudgetClaim pins the budget surface. MaxValuations caps
-// each slice's per-disjunct work independently (there is no shared
-// counter across processes), so: at K=1 a budget stop reproduces the
-// sequential Unknown/valuations surface exactly, while at K>1 slices
-// that each stay under their own cap may legitimately finish a search
-// the single process gave up on — the merged Complete is sound and
-// strictly more decisive (the per-slice cap caveat of partition.go).
+// TestPartitionBudgetClaim pins the budget surface of the legacy
+// UNSHARED mode (Checker.SliceBudget nil). MaxValuations caps each
+// slice's per-disjunct work independently, so: at K=1 a budget stop
+// reproduces the sequential Unknown/valuations surface exactly, while
+// at K>1 slices that each stay under their own cap may legitimately
+// finish a search the single process gave up on — the merged Complete
+// is sound and strictly more decisive, but diverges from the
+// single-process surface (the per-slice cap caveat of partition.go).
+// TestPartitionSharedBudgetClaim pins the shared-ledger mode that
+// removes the divergence.
 func TestPartitionBudgetClaim(t *testing.T) {
 	r, f := microSchema()
 	d := relation.NewDatabase(r, f)
@@ -258,6 +261,104 @@ func TestPartitionBudgetClaim(t *testing.T) {
 	}
 	if merged2.Verdict != VerdictComplete {
 		t.Fatalf("K=2 merged: want complete (per-slice caps), got %v/%v", merged2.Verdict, merged2.Reason)
+	}
+}
+
+// TestPartitionSharedBudgetClaim pins the shared cross-slice ledger:
+// with one SharedBudget threaded through every slice of a fan-out, the
+// K-way run exhausts MaxValuations at the same total spend as the
+// single process, so K ∈ {1, 2, 8} all reproduce the sequential
+// Unknown/valuations surface byte-for-byte — including K=2, which
+// under per-slice caps proves Complete instead (the divergence
+// TestPartitionBudgetClaim pins). Exactly one slice crosses the cap
+// and carries the budget claim; the merge works regardless of which.
+func TestPartitionSharedBudgetClaim(t *testing.T) {
+	r, f := microSchema()
+	d := relation.NewDatabase(r, f)
+	d.MustAdd("F", "0")
+	d.MustAdd("F", "1")
+	q5 := microQueries()[4] // complete on this instance; 2 valuations
+	ctx := context.Background()
+
+	seq := &Checker{Workers: 1, Budget: Budget{MaxValuations: 1}}
+	sr, err := seq.RCDPCtx(ctx, q5, d, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Verdict != VerdictUnknown || sr.Reason != ReasonValuations {
+		t.Fatalf("sequential: want unknown/valuations, got %v/%v", sr.Verdict, sr.Reason)
+	}
+
+	for _, k := range []int{1, 2, 8} {
+		// One fresh single-use ledger per fan-out, shared by its slices.
+		ck := &Checker{Workers: 1, Budget: Budget{MaxValuations: 1}, SliceBudget: NewSharedBudget()}
+		slices := make([]*SliceResult, k)
+		claims := 0
+		for s := 0; s < k; s++ {
+			slices[s], err = ck.RCDPSliceCtx(ctx, q5, d, nil, nil, PartitionPlan{Slices: k, Slice: s})
+			if err != nil {
+				t.Fatalf("K=%d slice %d: %v", k, s, err)
+			}
+			if c := slices[s].Claim; c != NoClaim && keyIsBudget(c) {
+				claims++
+			}
+		}
+		if claims != 1 {
+			t.Fatalf("K=%d: want exactly one budget claim, got %d", k, claims)
+		}
+		merged, err := MergeSlices(slices)
+		if err != nil {
+			t.Fatalf("K=%d: merge: %v", k, err)
+		}
+		if field, ok := sameMerged(sr, merged); !ok {
+			t.Fatalf("K=%d: %s diverges from sequential\nsequential: %+v\nmerged:     %+v", k, field, sr, merged)
+		}
+	}
+}
+
+// TestPartitionSharedBudgetUnlimited pins that an unlimited shared
+// ledger is a no-op: random micro instances merge to the sequential
+// result exactly as in the unshared sweep.
+func TestPartitionSharedBudgetUnlimited(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	queries := microQueries()
+	sets := microConstraintSets()
+	seq := &Checker{Workers: 1}
+
+	trials := 0
+	for trial := 0; trial < 120 && trials < 25; trial++ {
+		q := queries[rng.Intn(len(queries))]
+		cs := sets[rng.Intn(len(sets))]
+		d := randomMicroDB(rng)
+		if ok, err := cs.v.Satisfied(d, cs.dm); err != nil || !ok {
+			continue
+		}
+		trials++
+		sr, err := seq.RCDPCtx(context.Background(), q, d, cs.dm, cs.v)
+		if err != nil {
+			t.Fatalf("trial %d: sequential: %v", trial, err)
+		}
+		for _, k := range []int{2, 8} {
+			ck := &Checker{Workers: 1, SliceBudget: NewSharedBudget()}
+			slices := make([]*SliceResult, k)
+			for s := 0; s < k; s++ {
+				slices[s], err = ck.RCDPSliceCtx(context.Background(), q, d, cs.dm, cs.v, PartitionPlan{Slices: k, Slice: s})
+				if err != nil {
+					t.Fatalf("trial %d K=%d slice %d: %v", trial, k, s, err)
+				}
+			}
+			merged, err := MergeSlices(slices)
+			if err != nil {
+				t.Fatalf("trial %d K=%d: merge: %v", trial, k, err)
+			}
+			if field, ok := sameMerged(sr, merged); !ok {
+				t.Fatalf("trial %d (%s/%s) K=%d: %s diverges\nsequential: %+v\nmerged: %+v",
+					trial, cs.name, q, k, field, sr, merged)
+			}
+		}
+	}
+	if trials < 15 {
+		t.Fatalf("too few partially closed trials: %d", trials)
 	}
 }
 

@@ -64,6 +64,13 @@ type Checker struct {
 	// by the Ctx entry points and by the legacy wrappers alike; the
 	// zero value is unlimited.
 	Budget Budget
+	// SliceBudget, when set, makes RCDPSliceCtx charge this shared
+	// cross-slice valuation ledger instead of a fresh per-slice counter,
+	// so a K-way fan-out exhausts the per-disjunct MaxValuations cap at
+	// the same total spend as the single-process engines. Nil keeps the
+	// legacy per-slice caps. Only RCDPSliceCtx consults it; the other
+	// entry points already share one ledger per disjunct.
+	SliceBudget *SharedBudget
 }
 
 // effectiveWorkers resolves the Workers field to a concrete count.

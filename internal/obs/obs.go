@@ -83,6 +83,10 @@ var (
 	// (projection evaluations over the master data).
 	PDmMisses = NewCounter("relcomp_cc_pdm_cache_misses_total",
 		"master-side projection cache misses")
+	// PDmPatches counts master-side projection memos extended in place
+	// by an insert-only master batch instead of rebuilt.
+	PDmPatches = NewCounter("relcomp_cc_pdm_cache_patches_total",
+		"master-side projection cache incremental patches")
 	// IndexBuilds counts secondary column-index materializations in the
 	// relation substrate (legacy hash indexes and interned posting
 	// columns alike).
@@ -97,6 +101,15 @@ var (
 	// completeness search across all disjuncts and checks.
 	Valuations = NewCounter("relcomp_core_valuations_total",
 		"candidate valuations inspected by the completeness search")
+	// RecheckReused counts incremental rechecks answered from the cached
+	// verdict because the mutation passed the invisibility gate
+	// (core.Delta.WitnessReusable).
+	RecheckReused = NewCounter("relcomp_core_recheck_reused_total",
+		"incremental rechecks answered from the cached verdict")
+	// RecheckCold counts incremental rechecks that fell back to a full
+	// RCDP search.
+	RecheckCold = NewCounter("relcomp_core_recheck_cold_total",
+		"incremental rechecks that re-ran the full search")
 	// PoolTasks counts branch tasks executed by the parallel search
 	// worker pool.
 	PoolTasks = NewCounter("relcomp_core_pool_tasks_total",

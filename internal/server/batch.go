@@ -47,13 +47,16 @@ type BatchLine struct {
 }
 
 // batchShared is the once-resolved context every item of a batch runs
-// against.
+// against. release, when non-nil, must be called after the last item:
+// catalog-backed batches hold the entry's read lock for their whole
+// run so a concurrent mutation cannot patch Dm or V mid-stream.
 type batchShared struct {
 	entry   *Entry // non-nil on the catalog path (query cache)
 	schemas map[string]*relation.Schema
 	d       *relation.Database
 	dm      *relation.Database
 	v       *cc.Set
+	release func()
 }
 
 // resolveBatchShared parses the batch's shared parts once: the
@@ -68,11 +71,13 @@ func (s *Server) resolveBatchShared(req *BatchRequest) (*batchShared, error) {
 		if e == nil {
 			return nil, httpErrorf(http.StatusNotFound, "catalog %q is not registered", req.Catalog)
 		}
+		e.mu.RLock()
 		d, err := textq.ParseFacts(req.DB, e.Schemas)
 		if err != nil {
+			e.mu.RUnlock()
 			return nil, httpErrorf(http.StatusBadRequest, "db: %v", err)
 		}
-		return &batchShared{entry: e, schemas: e.Schemas, d: d, dm: e.Dm, v: e.V}, nil
+		return &batchShared{entry: e, schemas: e.Schemas, d: d, dm: e.Dm, v: e.V, release: e.mu.RUnlock}, nil
 	}
 	p, err := textq.ParseProblemData(textq.ProblemSource{
 		Schemas:       req.Schemas,
@@ -122,7 +127,7 @@ func (s *Server) batchRunner(endpoint string) (func(ctx context.Context, in *che
 // Request-level failures (bad shared parts, unknown endpoint) are
 // ordinary JSON errors; per-item failures are error lines in the
 // stream, which always carries exactly len(queries) lines.
-func (s *Server) serveBatch(ctx context.Context, id string, req *BatchRequest, w http.ResponseWriter) {
+func (s *Server) serveBatch(ctx context.Context, id string, req *BatchRequest, w http.ResponseWriter, _ *http.Request) {
 	if len(req.Queries) == 0 {
 		writeError(w, id, http.StatusBadRequest, "queries is required")
 		return
@@ -136,6 +141,9 @@ func (s *Server) serveBatch(ctx context.Context, id string, req *BatchRequest, w
 	if err != nil {
 		writeError(w, id, statusOf(err), "%s", err.Error())
 		return
+	}
+	if shared.release != nil {
+		defer shared.release()
 	}
 	budget := s.effectiveBudget(req.Budget)
 

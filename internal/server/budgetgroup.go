@@ -1,0 +1,96 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// The /v1/partial shared-ledger registry.
+//
+// A coordinator that wants its K-way fan-out to exhaust the valuation
+// budget like a single process mints one budget-group token per check
+// and stamps it on every slice request. Slices of one group that land
+// on the same backend process share one core.SharedBudget through this
+// registry, so their per-disjunct MaxValuations spend is pooled; the
+// merged verdict then reproduces the sequential Unknown/valuations
+// surface instead of granting each slice its own cap (the per-slice
+// divergence core.TestPartitionBudgetClaim pins).
+//
+// The pooling is exact only for slices the router co-locates: slices
+// of one group on different backends still charge separate ledgers,
+// because a literally-shared atomic across processes would put a
+// network round-trip in the innermost search loop. A group whose
+// slices scatter across backends therefore degrades gracefully toward
+// the old per-slice behavior — never worse, exact when co-located.
+//
+// Lifecycle: a group is created on first sight with the fan-out width
+// as its leg count and dropped when that many legs have completed on
+// this backend. Groups whose remaining legs ran elsewhere can never
+// drain, so the registry is bounded: beyond maxBudgetGroups the oldest
+// group is evicted (its ledger is single-use garbage by then).
+const maxBudgetGroups = 256
+
+type budgetGroups struct {
+	mu     sync.Mutex
+	groups map[string]*budgetGroup
+	order  []string // insertion order, for bounded eviction
+}
+
+type budgetGroup struct {
+	ledger *core.SharedBudget
+	left   int // slice legs not yet completed on this backend
+}
+
+// acquire returns the shared ledger registered under token, creating
+// it with `slices` outstanding legs on first sight. Every acquire must
+// be paired with a release.
+func (g *budgetGroups) acquire(token string, slices int) *core.SharedBudget {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.groups == nil {
+		g.groups = make(map[string]*budgetGroup)
+	}
+	if bg, ok := g.groups[token]; ok {
+		return bg.ledger
+	}
+	bg := &budgetGroup{ledger: core.NewSharedBudget(), left: slices}
+	g.groups[token] = bg
+	g.order = append(g.order, token)
+	for len(g.groups) > maxBudgetGroups && len(g.order) > 0 {
+		oldest := g.order[0]
+		g.order = g.order[1:]
+		delete(g.groups, oldest) // no-op when already drained
+	}
+	return bg.ledger
+}
+
+// release marks one slice leg of the group complete, dropping the
+// group when all legs this backend will ever see are done.
+func (g *budgetGroups) release(token string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	bg, ok := g.groups[token]
+	if !ok {
+		return
+	}
+	bg.left--
+	if bg.left <= 0 {
+		delete(g.groups, token)
+	}
+}
+
+// newBudgetGroupToken mints a process-independent unique group token
+// for one coordinator fan-out.
+func newBudgetGroupToken() string {
+	var b [10]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero token
+		// would only collide budgets across concurrent checks, which is
+		// a throughput hazard, not a soundness one.
+		return "bg-fallback"
+	}
+	return "bg-" + hex.EncodeToString(b[:])
+}

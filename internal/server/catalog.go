@@ -22,12 +22,36 @@ import (
 // once and reused. Interned entries additionally share the process-wide
 // value dictionary (relation.Shared), so a catalog's vocabulary is
 // interned once at registration and every request joins in id space.
+//
+// Entries registered with DB facts additionally hold a *resident*
+// database D, which the mutation endpoints (mutation.go) patch in
+// place; watched queries maintain their verdicts across those
+// mutations. mu orders the mutations against the checks that read the
+// shared objects: a mutation holds the write side across apply+recheck,
+// every resolved check holds the read side across its run.
 type Entry struct {
 	Name          string
 	Schemas       map[string]*relation.Schema
 	MasterSchemas map[string]*relation.Schema
 	Dm            *relation.Database
 	V             *cc.Set
+
+	// D is the resident database, non-nil when the registration carried
+	// DB facts. Mutations and watched verdicts run against it; check
+	// requests still carry their own DB facts, parsed per request.
+	D *relation.Database
+
+	// mu guards D, Dm, V and the maintained-verdict state below against
+	// concurrent mutation.
+	mu sync.RWMutex
+
+	// watched (registration order), verdicts, version and changed form
+	// the maintained verdict cache: version counts bumps, and changed is
+	// closed and replaced on every bump so long-polls wake (mutation.go).
+	watched  []string
+	verdicts map[string]*watchedVerdict
+	version  uint64
+	changed  chan struct{}
 
 	queries queryCache
 }
@@ -87,9 +111,10 @@ func (c *queryCache) len() int {
 	return len(c.m)
 }
 
-// Catalog is the named registry of master-data contexts. Entries are
-// immutable once registered (re-registration under an existing name is
-// refused), so readers never need more than the lookup lock.
+// Catalog is the named registry of master-data contexts.
+// Re-registration under an existing name is refused; entries mutate
+// only through their own locks (Entry.mu), so the registry lock covers
+// nothing but the name map.
 type Catalog struct {
 	mu sync.RWMutex
 	m  map[string]*Entry
@@ -104,8 +129,8 @@ func (c *Catalog) Register(name string, src textq.ProblemSource) (*Entry, error)
 	if name == "" {
 		return nil, fmt.Errorf("catalog: name is required")
 	}
-	if src.Query != "" || src.DB != "" {
-		return nil, fmt.Errorf("catalog: entries hold master data, not queries or database facts")
+	if src.Query != "" {
+		return nil, fmt.Errorf("catalog: entries hold data contexts, not queries")
 	}
 	p, err := textq.ParseProblemData(src)
 	if err != nil {
@@ -117,6 +142,9 @@ func (c *Catalog) Register(name string, src textq.ProblemSource) (*Entry, error)
 		MasterSchemas: p.MasterSchemas,
 		Dm:            p.Dm,
 		V:             p.V,
+		D:             p.D,
+		verdicts:      make(map[string]*watchedVerdict),
+		changed:       make(chan struct{}),
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -125,6 +153,15 @@ func (c *Catalog) Register(name string, src textq.ProblemSource) (*Entry, error)
 	}
 	c.m[name] = e
 	return e, nil
+}
+
+// drop removes a just-registered entry whose post-registration setup
+// (seeding watched verdicts) failed, so a failed POST /v1/catalog does
+// not leave a half-configured entry behind.
+func (c *Catalog) drop(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.m, name)
 }
 
 // Get returns the entry under name, or nil.

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/textq"
@@ -142,7 +143,13 @@ func TestBatchInlineAndEndpoints(t *testing.T) {
 // postPartial runs one slice of a K-way split.
 func postPartial(t *testing.T, url string, req CheckRequest, slices, slice int) *PartialResponse {
 	t.Helper()
-	preq := PartialRequest{CheckRequest: req, Slices: slices, Slice: slice}
+	return postPartialGroup(t, url, req, slices, slice, "")
+}
+
+// postPartialGroup is postPartial with a budget-group token.
+func postPartialGroup(t *testing.T, url string, req CheckRequest, slices, slice int, group string) *PartialResponse {
+	t.Helper()
+	preq := PartialRequest{CheckRequest: req, Slices: slices, Slice: slice, BudgetGroup: group}
 	resp, err := http.Post(url+"/v1/partial", "application/json", bytes.NewReader(mustJSON(t, preq)))
 	if err != nil {
 		t.Fatal(err)
@@ -198,6 +205,78 @@ func TestPartialMergeMatchesSingle(t *testing.T) {
 					k, query, merged.Stats, single.Stats)
 			}
 		}
+	}
+}
+
+// TestPartialBudgetGroupShares pins the budget_group wire contract:
+// slices of one fan-out carrying the same token that land on one
+// backend pool their MaxValuations spend, so the merged result
+// reproduces the single-process Unknown/valuations surface — where
+// the same slices without a token each get their own cap and prove a
+// Complete the single process gave up on (the per-slice divergence
+// core.TestPartitionBudgetClaim documents).
+func TestPartialBudgetGroupShares(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	// F ⊆ M with slack: the search visits candidates 0, 1, 2 across
+	// separate top-level branches; a cap of 1 stops the single process
+	// after the first, while solo per-slice caps let the fan-out keep
+	// enumerating.
+	req := CheckRequest{
+		Schemas:       `rel F(p)`,
+		MasterSchemas: `rel M(x)`,
+		Master:        "M(0). M(1). M(2).",
+		Constraints:   `cc c0(P) :- F(P) <= M[0]`,
+		DB:            "F(0).",
+		Query:         `Q(P) :- F(P)`,
+		Budget:        &BudgetOverride{MaxValuations: 1},
+	}
+	var single CheckResponse
+	if code := post(t, ts.URL+"/v1/rcdp", req, &single); code != http.StatusOK {
+		t.Fatalf("single: status %d", code)
+	}
+	if single.Verdict != "unknown" || single.Reason != "valuations" {
+		t.Fatalf("single: want unknown/valuations, got %s/%s", single.Verdict, single.Reason)
+	}
+
+	// Without a token each slice gets its own cap, and the slice owning
+	// the witness branch reaches it before tripping: the fan-out
+	// decides Incomplete where the single process gave up — the
+	// divergence the shared ledger removes.
+	legacy, status, err := mergePartials([]*PartialResponse{
+		postPartial(t, ts.URL, req, 2, 0),
+		postPartial(t, ts.URL, req, 2, 1),
+	})
+	if err != nil {
+		t.Fatalf("legacy merge: %v (status %d)", err, status)
+	}
+	if legacy.Verdict != "incomplete" {
+		t.Fatalf("per-slice caps: want the divergent incomplete, got %s/%s", legacy.Verdict, legacy.Reason)
+	}
+
+	// With one token per fan-out: pooled spend, the single-process
+	// surface at every K.
+	for _, k := range []int{1, 2, 8} {
+		group := newBudgetGroupToken()
+		partials := make([]*PartialResponse, k)
+		for i := 0; i < k; i++ {
+			partials[i] = postPartialGroup(t, ts.URL, req, k, i, group)
+		}
+		merged, status, err := mergePartials(partials)
+		if err != nil {
+			t.Fatalf("K=%d: merge: %v (status %d)", k, err, status)
+		}
+		if merged.Verdict != single.Verdict || merged.Reason != single.Reason {
+			t.Errorf("K=%d: merged %s/%s != single %s/%s",
+				k, merged.Verdict, merged.Reason, single.Verdict, single.Reason)
+		}
+	}
+	// Every group saw all its legs on this backend, so the registry
+	// drained itself.
+	s.partialGroups.mu.Lock()
+	left := len(s.partialGroups.groups)
+	s.partialGroups.mu.Unlock()
+	if left != 0 {
+		t.Errorf("budget-group registry holds %d undrained groups", left)
 	}
 }
 
@@ -421,4 +500,121 @@ func TestRouterRetryAndFailure(t *testing.T) {
 	if len(statuses) != 1 || statuses[0].Ready {
 		t.Fatalf("dead backend reported ready: %+v", statuses)
 	}
+}
+
+// TestRouterCatalogResync: a backend unreachable during catalog
+// broadcasts falls behind, and the health sweep replays the missed
+// registrations and mutations once it probes ready again — a rejoined
+// backend converges to the same catalog state without operator
+// intervention.
+func TestRouterCatalogResync(t *testing.T) {
+	b1, ts1 := newTestServer(t, Config{})
+	// Backend 2 sits behind a kill switch: while down, every request's
+	// connection is closed without a response, which the router treats
+	// as an unreachable backend (not an HTTP refusal).
+	s2 := New(Config{})
+	var down atomic.Bool
+	ts2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("test server does not support hijacking")
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		s2.Handler().ServeHTTP(w, r)
+	}))
+	defer ts2.Close()
+	rt, err := NewRouter(RouterConfig{Backends: []string{ts1.URL, ts2.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	// Register a maintained catalog and mutate it while backend 2 is
+	// unreachable: the router tolerates the partial broadcast.
+	down.Store(true)
+	var info CatalogInfo
+	if code := post(t, front.URL+"/v1/catalog", CatalogRequest{
+		Name:          "crm",
+		Schemas:       exSchemas,
+		MasterSchemas: exMasterSchemas,
+		DB:            exDB,
+		Master:        exMaster,
+		Constraints:   exConstraints,
+		Queries:       []string{exQuery, incompleteQuery},
+	}, &info); code != http.StatusCreated {
+		t.Fatalf("register with one backend down: status %d", code)
+	}
+	var mr MutationResponse
+	if code := post(t, front.URL+"/v1/catalog/crm/insert", MutationRequest{
+		Facts: "Supt(e1, sales, c2).",
+	}, &mr); code != http.StatusOK || mr.Rechecked != 2 {
+		t.Fatalf("mutate with one backend down: status %d %+v", code, mr)
+	}
+	if b1.Catalog().Get("crm") == nil {
+		t.Fatal("live backend missed the broadcast")
+	}
+	if s2.Catalog().Get("crm") != nil {
+		t.Fatal("down backend received the broadcast")
+	}
+
+	statuses := getBackends(t, front.URL)
+	if statuses[1].Ready || statuses[1].Pending != 2 {
+		t.Fatalf("down backend status %+v, want not ready with 2 pending", statuses[1])
+	}
+	forwardsBefore := rt.health[1].forwards.Load()
+
+	// Backend 2 comes back: the next health sweep replays both missed
+	// entries, without counting them as client forwards.
+	down.Store(false)
+	statuses = getBackends(t, front.URL)
+	if !statuses[1].Ready || statuses[1].Pending != 0 {
+		t.Fatalf("rejoined backend status %+v, want ready with 0 pending", statuses[1])
+	}
+	if got := rt.health[1].forwards.Load(); got != forwardsBefore {
+		t.Errorf("sync counted as forwards: %d -> %d", forwardsBefore, got)
+	}
+	if s2.Catalog().Get("crm") == nil {
+		t.Fatal("rejoined backend did not receive the catalog")
+	}
+	_, vr := getVerdicts(t, ts2.URL+"/v1/catalog/crm/verdicts")
+	if v := verdictOf(t, vr, incompleteQuery); v.Verdict != "complete" {
+		t.Fatalf("rejoined backend Q2 = %+v, want complete (mutation replayed)", v)
+	}
+
+	// With both backends current, a routed mutation reaches both and a
+	// routed verdicts read answers from the ring-picked copy.
+	if code := post(t, front.URL+"/v1/catalog/crm/delete", MutationRequest{
+		Facts: "Supt(e1, sales, c2).",
+	}, &mr); code != http.StatusOK || mr.Deleted != 1 {
+		t.Fatalf("routed delete: status %d %+v", code, mr)
+	}
+	for i, base := range []string{ts1.URL, ts2.URL, front.URL} {
+		_, vr := getVerdicts(t, base+"/v1/catalog/crm/verdicts")
+		if v := verdictOf(t, vr, incompleteQuery); v.Verdict != "incomplete" {
+			t.Fatalf("copy %d: Q2 = %+v, want incomplete after routed delete", i, v)
+		}
+	}
+}
+
+// getBackends fetches and decodes GET /v1/backends.
+func getBackends(t *testing.T, frontURL string) []BackendStatus {
+	t.Helper()
+	resp, err := http.Get(frontURL + "/v1/backends")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var statuses []BackendStatus
+	if err := json.NewDecoder(resp.Body).Decode(&statuses); err != nil {
+		t.Fatal(err)
+	}
+	return statuses
 }

@@ -48,12 +48,16 @@ func (c *Coordinator) Check(ctx context.Context, req *CheckRequest) (*CheckRespo
 	}
 	partials := make([]*PartialResponse, k)
 	errs := make([]error, k)
+	// One budget-group token per check: slices the cluster co-locates
+	// pool their valuation budget (see budgetgroup.go), so the fan-out
+	// exhausts MaxValuations like a single process would.
+	group := newBudgetGroupToken()
 	var wg sync.WaitGroup
 	for i := 0; i < k; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			preq := &PartialRequest{CheckRequest: *req, Slices: k, Slice: i}
+			preq := &PartialRequest{CheckRequest: *req, Slices: k, Slice: i, BudgetGroup: group}
 			partials[i], errs[i] = c.scatter(ctx, c.Backends[i], preq)
 		}(i)
 	}

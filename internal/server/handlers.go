@@ -96,7 +96,10 @@ type ErrorResponse struct {
 }
 
 // checkInput is a resolved request: parsed problem parts plus the
-// effective budget.
+// effective budget. release, when non-nil, must be called once the
+// check is done with the parts — catalog-backed inputs hold the
+// entry's read lock so a concurrent mutation cannot patch (D)m or V
+// mid-search.
 type checkInput struct {
 	schemas map[string]*relation.Schema
 	d       *relation.Database
@@ -105,6 +108,7 @@ type checkInput struct {
 	q       qlang.Query
 	budget  core.Budget
 	req     *CheckRequest
+	release func()
 }
 
 // httpError carries a status code with a client-facing message.
@@ -145,7 +149,7 @@ func (s *Server) refuseDraining(w http.ResponseWriter, id string) {
 // — single checks, batches and partition slices alike — goes through
 // this one path, so the admission bound governs them uniformly (a
 // batch occupies one slot for its whole run).
-func handleAdmitted[Req any](s *Server, endpoint string, serve func(ctx context.Context, id string, req *Req, w http.ResponseWriter)) http.HandlerFunc {
+func handleAdmitted[Req any](s *Server, endpoint string, serve func(ctx context.Context, id string, req *Req, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		obs.ServeRequests.Inc(endpoint)
 		id := s.nextRequestID()
@@ -202,7 +206,7 @@ func handleAdmitted[Req any](s *Server, endpoint string, serve func(ctx context.
 			s.beforeCheck()
 		}
 
-		serve(ctx, id, &req, w)
+		serve(ctx, id, &req, w, r)
 		obs.ServeSeconds.Observe(time.Since(start).Seconds())
 	}
 }
@@ -210,7 +214,7 @@ func handleAdmitted[Req any](s *Server, endpoint string, serve func(ctx context.
 // checkHandler builds one single-check endpoint on the shared
 // admission machinery; run executes the already-resolved check.
 func (s *Server) checkHandler(endpoint string, run func(ctx context.Context, in *checkInput) (*CheckResponse, error)) http.HandlerFunc {
-	return handleAdmitted(s, endpoint, func(ctx context.Context, id string, req *CheckRequest, w http.ResponseWriter) {
+	return handleAdmitted(s, endpoint, func(ctx context.Context, id string, req *CheckRequest, w http.ResponseWriter, _ *http.Request) {
 		resp, err := s.process(ctx, req, run)
 		status := http.StatusOK
 		verdict := ""
@@ -250,6 +254,9 @@ func (s *Server) process(ctx context.Context, req *CheckRequest, run func(ctx co
 	if err != nil {
 		return nil, err
 	}
+	if in.release != nil {
+		defer in.release()
+	}
 	return run(ctx, in)
 }
 
@@ -269,15 +276,21 @@ func (s *Server) resolve(req *CheckRequest) (*checkInput, error) {
 		if e == nil {
 			return nil, httpErrorf(http.StatusNotFound, "catalog %q is not registered", req.Catalog)
 		}
+		// Hold the entry's read side until the check releases it, so a
+		// concurrent mutation cannot patch Dm or V mid-search.
+		e.mu.RLock()
 		d, err := textq.ParseFacts(req.DB, e.Schemas)
 		if err != nil {
+			e.mu.RUnlock()
 			return nil, httpErrorf(http.StatusBadRequest, "db: %v", err)
 		}
 		q, err := e.Query(req.Query)
 		if err != nil {
+			e.mu.RUnlock()
 			return nil, httpErrorf(http.StatusBadRequest, "query: %v", err)
 		}
 		in.schemas, in.d, in.dm, in.v, in.q = e.Schemas, d, e.Dm, e.V, q
+		in.release = e.mu.RUnlock
 		return in, nil
 	}
 	p, err := textq.ParseProblem(textq.ProblemSource{
@@ -401,22 +414,31 @@ func (s *Server) runBounded(ctx context.Context, in *checkInput) (*CheckResponse
 	return out, nil
 }
 
-// CatalogRequest registers a master-data context under a name.
+// CatalogRequest registers a master-data context under a name. DB
+// seeds the entry's resident database (the state mutation endpoints
+// patch; entries without DB facts start empty) and Queries seeds the
+// watched queries whose verdicts the entry maintains across mutations
+// (see mutation.go).
 type CatalogRequest struct {
-	Name          string `json:"name"`
-	Schemas       string `json:"schemas"`
-	MasterSchemas string `json:"master_schemas,omitempty"`
-	Master        string `json:"master,omitempty"`
-	Constraints   string `json:"constraints,omitempty"`
+	Name          string   `json:"name"`
+	Schemas       string   `json:"schemas"`
+	MasterSchemas string   `json:"master_schemas,omitempty"`
+	DB            string   `json:"db,omitempty"`
+	Master        string   `json:"master,omitempty"`
+	Constraints   string   `json:"constraints,omitempty"`
+	Queries       []string `json:"queries,omitempty"`
 }
 
 // CatalogInfo describes one registered entry.
 type CatalogInfo struct {
 	Name          string `json:"name"`
 	Relations     int    `json:"relations"`
+	DBTuples      int    `json:"db_tuples"`
 	MasterTuples  int    `json:"master_tuples"`
 	Constraints   int    `json:"constraints"`
 	CachedQueries int    `json:"cached_queries"`
+	Watched       int    `json:"watched,omitempty"`
+	Version       uint64 `json:"version,omitempty"`
 }
 
 // catalogHandler registers entries (POST) and lists them (GET).
@@ -447,6 +469,7 @@ func (s *Server) catalogHandler(w http.ResponseWriter, r *http.Request) {
 		e, err := s.catalog.Register(req.Name, textq.ProblemSource{
 			Schemas:       req.Schemas,
 			MasterSchemas: req.MasterSchemas,
+			DB:            req.DB,
 			Master:        req.Master,
 			Constraints:   req.Constraints,
 		})
@@ -458,6 +481,14 @@ func (s *Server) catalogHandler(w http.ResponseWriter, r *http.Request) {
 			writeError(w, id, status, "%v", err)
 			return
 		}
+		if len(req.Queries) > 0 {
+			ck := &core.Checker{Workers: s.cfg.CheckWorkers, Budget: s.effectiveBudget(nil)}
+			if err := e.Watch(r.Context(), ck, req.Queries); err != nil {
+				s.catalog.drop(req.Name)
+				writeError(w, id, http.StatusBadRequest, "%v", err)
+				return
+			}
+		}
 		writeJSON(w, http.StatusCreated, catalogInfo(e))
 	default:
 		writeError(w, id, http.StatusMethodNotAllowed, "GET or POST only")
@@ -465,16 +496,26 @@ func (s *Server) catalogHandler(w http.ResponseWriter, r *http.Request) {
 }
 
 func catalogInfo(e *Entry) CatalogInfo {
-	tuples := 0
-	for _, name := range e.Dm.Relations() {
-		tuples += e.Dm.Instance(name).Len()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	count := func(db *relation.Database) int {
+		n := 0
+		if db != nil {
+			for _, name := range db.Relations() {
+				n += db.Instance(name).Len()
+			}
+		}
+		return n
 	}
 	return CatalogInfo{
 		Name:          e.Name,
 		Relations:     len(e.Schemas),
-		MasterTuples:  tuples,
+		DBTuples:      count(e.D),
+		MasterTuples:  count(e.Dm),
 		Constraints:   e.V.Len(),
 		CachedQueries: e.CachedQueries(),
+		Watched:       len(e.watched),
+		Version:       e.version,
 	}
 }
 

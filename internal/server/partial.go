@@ -14,11 +14,16 @@ import (
 // PartialRequest is the body of POST /v1/partial: one partition slice
 // of an RCDP check. The problem parts are a plain CheckRequest; Slices
 // and Slice name the slice of the K-way deterministic split this
-// backend should evaluate (core.PartitionPlan).
+// backend should evaluate (core.PartitionPlan). BudgetGroup, when
+// non-empty, names the check's shared valuation ledger: slices
+// carrying the same token that land on the same backend pool their
+// MaxValuations spend (see budgetgroup.go), so the fan-out exhausts
+// like a single process instead of granting each slice its own cap.
 type PartialRequest struct {
 	CheckRequest
-	Slices int `json:"slices"`
-	Slice  int `json:"slice"`
+	Slices      int    `json:"slices"`
+	Slice       int    `json:"slice"`
+	BudgetGroup string `json:"budget_group,omitempty"`
 }
 
 // WitnessJSON is a slice's incompleteness counterexample.
@@ -50,7 +55,7 @@ type PartialResponse struct {
 // servePartial evaluates one partition slice. Only RCDP fans out this
 // way (RCQP/bounded have no branch-keyed arbitration), and the slice
 // runs sequentially — the cluster's parallelism is across slices.
-func (s *Server) servePartial(ctx context.Context, id string, req *PartialRequest, w http.ResponseWriter) {
+func (s *Server) servePartial(ctx context.Context, id string, req *PartialRequest, w http.ResponseWriter, _ *http.Request) {
 	plan := core.PartitionPlan{Slices: req.Slices, Slice: req.Slice}
 	if err := plan.Validate(); err != nil {
 		writeError(w, id, http.StatusBadRequest, "%v", err)
@@ -61,11 +66,18 @@ func (s *Server) servePartial(ctx context.Context, id string, req *PartialReques
 		writeError(w, id, statusOf(err), "%s", err.Error())
 		return
 	}
+	if in.release != nil {
+		defer in.release()
+	}
 	if err := decidable(in); err != nil {
 		writeError(w, id, statusOf(err), "%s", err.Error())
 		return
 	}
 	ck := core.Checker{Workers: 1, Budget: in.budget}
+	if req.BudgetGroup != "" {
+		ck.SliceBudget = s.partialGroups.acquire(req.BudgetGroup, req.Slices)
+		defer s.partialGroups.release(req.BudgetGroup)
+	}
 	res, err := ck.RCDPSliceCtx(ctx, in.q, in.d, in.dm, in.v, plan)
 	if err != nil {
 		writeError(w, id, statusOf(err), "%s", err.Error())

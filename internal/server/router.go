@@ -58,6 +58,21 @@ type Router struct {
 	reqSeq   atomic.Int64
 
 	health []backendHealth // parallel to cfg.Backends
+
+	// catmu guards the catalog replay log: the ordered catalog-state
+	// broadcasts (registrations and mutations) and, per backend, how
+	// many of them it has applied. A backend that was unreachable
+	// during a broadcast falls behind and is caught up by syncBackend
+	// when a health probe sees it ready again.
+	catmu   sync.Mutex
+	catlog  []catalogLogEntry
+	applied []int // parallel to cfg.Backends
+}
+
+// catalogLogEntry is one replayable catalog-state broadcast.
+type catalogLogEntry struct {
+	path string // "/v1/catalog" or "/v1/catalog/{name}/insert|delete"
+	body []byte
 }
 
 // backendHealth is the router's per-backend forward ledger, surfaced
@@ -91,9 +106,10 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		cfg.MaxBodyBytes = 16 << 20
 	}
 	rt := &Router{
-		cfg:    cfg,
-		coord:  &Coordinator{Backends: cfg.Backends, Client: cfg.Client},
-		health: make([]backendHealth, len(cfg.Backends)),
+		cfg:     cfg,
+		coord:   &Coordinator{Backends: cfg.Backends, Client: cfg.Client},
+		health:  make([]backendHealth, len(cfg.Backends)),
+		applied: make([]int, len(cfg.Backends)),
 	}
 	for i, b := range cfg.Backends {
 		for v := 0; v < ringVnodes; v++ {
@@ -113,6 +129,9 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	rt.mux.HandleFunc("/v1/batch", rt.forwardHandler("batch"))
 	rt.mux.HandleFunc("/v1/partial", rt.forwardHandler("partial"))
 	rt.mux.HandleFunc("/v1/catalog", rt.catalogHandler)
+	rt.mux.HandleFunc("POST /v1/catalog/{name}/insert", rt.mutationHandler)
+	rt.mux.HandleFunc("POST /v1/catalog/{name}/delete", rt.mutationHandler)
+	rt.mux.HandleFunc("GET /v1/catalog/{name}/verdicts", rt.verdictsProxyHandler)
 	rt.mux.HandleFunc("/v1/backends", rt.backendsHandler)
 	rt.mux.HandleFunc("/healthz", obs.HealthzHandler)
 	rt.mux.HandleFunc("/readyz", rt.readyzHandler)
@@ -377,33 +396,144 @@ func (rt *Router) catalogHandler(w http.ResponseWriter, r *http.Request) {
 			writeError(w, id, http.StatusBadRequest, "bad request body: %v", err)
 			return
 		}
-		var first []byte
-		status := http.StatusCreated
-		for i := range rt.cfg.Backends {
-			resp, err := rt.forward(r.Context(), i, "/v1/catalog", "application/json", body)
-			if err != nil {
-				writeError(w, id, http.StatusBadGateway,
-					"backend %s: %v", rt.cfg.Backends[i], err)
-				return
-			}
-			b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-			resp.Body.Close()
-			if resp.StatusCode >= 300 {
-				w.Header().Set("Content-Type", "application/json; charset=utf-8")
-				w.WriteHeader(resp.StatusCode)
-				_, _ = w.Write(b)
-				return
-			}
-			if first == nil {
-				first, status = b, resp.StatusCode
-			}
-		}
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		w.WriteHeader(status)
-		_, _ = w.Write(first)
+		rt.broadcastCatalog(r.Context(), w, id, "/v1/catalog", body)
 	default:
 		writeError(w, id, http.StatusMethodNotAllowed, "GET or POST only")
 	}
+}
+
+// mutationHandler broadcasts a catalog mutation to every backend:
+// broadcast catalogs mean every backend holds its own copy of the
+// entry, so a mutation must reach all of them or their maintained
+// verdicts diverge. Unreachable backends are tolerated the same way as
+// for registrations — the mutation lands in the replay log and
+// syncBackend delivers it when the backend returns (mutation batches
+// are idempotent at the tuple level, so replay over partial state is
+// safe).
+func (rt *Router) mutationHandler(w http.ResponseWriter, r *http.Request) {
+	obs.ServeRequests.Inc("mutation")
+	id := rt.nextRequestID()
+	w.Header().Set("X-Request-Id", id)
+	if rt.Draining() {
+		rt.refuse(w, id)
+		return
+	}
+	rt.wg.Add(1)
+	defer rt.wg.Done()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, id, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	rt.broadcastCatalog(r.Context(), w, id, r.URL.Path, body)
+}
+
+// verdictsProxyHandler forwards a verdicts read (including its
+// long-poll parameters) to the catalog's ring-picked backend — the one
+// routed checks land on, so the poll observes the same copy.
+func (rt *Router) verdictsProxyHandler(w http.ResponseWriter, r *http.Request) {
+	obs.ServeRequests.Inc("verdicts")
+	id := rt.nextRequestID()
+	w.Header().Set("X-Request-Id", id)
+	b := rt.pick(r.PathValue("name"))
+	url := rt.cfg.Backends[b] + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url, nil)
+	if err != nil {
+		writeError(w, id, http.StatusBadGateway, "%v", err)
+		return
+	}
+	resp, err := rt.client().Do(req)
+	if err != nil {
+		writeError(w, id, http.StatusBadGateway, "backend %s: %v", rt.cfg.Backends[b], err)
+		return
+	}
+	defer resp.Body.Close()
+	relay(w, resp)
+}
+
+// broadcastCatalog appends one catalog-state change (registration or
+// mutation) to the replay log and applies it to every backend that is
+// current. Unreachable backends are left behind for syncBackend; a
+// backend that is alive but refuses the change aborts the broadcast —
+// the entry is invalid, it is popped from the log and the refusal is
+// relayed. At least one backend must accept, else the client gets 502
+// and the log stays unchanged. The first accepting backend's response
+// is relayed.
+func (rt *Router) broadcastCatalog(ctx context.Context, w http.ResponseWriter, id, path string, body []byte) {
+	rt.catmu.Lock()
+	defer rt.catmu.Unlock()
+	n := len(rt.catlog)
+	rt.catlog = append(rt.catlog, catalogLogEntry{path: path, body: body})
+	var first []byte
+	firstStatus, accepted := 0, 0
+	for i := range rt.cfg.Backends {
+		if rt.applied[i] != n {
+			continue // already behind; syncBackend replays in order
+		}
+		resp, err := rt.forward(ctx, i, path, "application/json", body)
+		if err != nil {
+			continue // unreachable: catches up on the next ready probe
+		}
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			rt.catlog = rt.catlog[:n]
+			for j := range rt.applied {
+				if rt.applied[j] > n {
+					rt.applied[j] = n
+				}
+			}
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.WriteHeader(resp.StatusCode)
+			_, _ = w.Write(b)
+			return
+		}
+		rt.applied[i] = n + 1
+		accepted++
+		if first == nil {
+			first, firstStatus = b, resp.StatusCode
+		}
+	}
+	if accepted == 0 {
+		rt.catlog = rt.catlog[:n]
+		writeError(w, id, http.StatusBadGateway, "no backend accepted the catalog update")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(firstStatus)
+	_, _ = w.Write(first)
+}
+
+// syncBackend replays the catalog log entries a backend missed — it
+// was unreachable during a broadcast, or restarted empty. The replay
+// posts directly instead of going through forward, so the forwards
+// ledger keeps counting only client-driven traffic. Replaying onto a
+// backend holding any prefix of the log is sound: a registration it
+// already has comes back as a 409 conflict (treated as applied), and
+// mutation batches are idempotent at the tuple level (duplicate
+// inserts and absent deletes are no-ops). It returns how many entries
+// remain unapplied.
+func (rt *Router) syncBackend(ctx context.Context, backend int) int {
+	rt.catmu.Lock()
+	defer rt.catmu.Unlock()
+	for rt.applied[backend] < len(rt.catlog) {
+		e := rt.catlog[rt.applied[backend]]
+		resp, err := rt.post(ctx, rt.cfg.Backends[backend]+e.path, "application/json", e.body)
+		if err != nil {
+			break
+		}
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		status := resp.StatusCode
+		resp.Body.Close()
+		if status >= 300 && !(e.path == "/v1/catalog" && status == http.StatusConflict) {
+			break
+		}
+		rt.applied[backend]++
+	}
+	return len(rt.catlog) - rt.applied[backend]
 }
 
 // listCatalog fetches one backend's catalog listing.
@@ -435,10 +565,18 @@ type BackendStatus struct {
 	Forwards int64  `json:"forwards"`
 	Retries  int64  `json:"retries"`
 	Failures int64  `json:"failures"`
+	// Pending is how many catalog replay-log entries the backend still
+	// misses (see syncBackend); a ready backend is synced during this
+	// probe, so a ready backend with Pending > 0 is refusing replays.
+	Pending int `json:"pending"`
 }
 
 // backendsHandler reports per-backend health: a live /readyz probe and
-// the forward/retry/failure counters.
+// the forward/retry/failure counters. A backend that probes ready and
+// misses catalog replay-log entries is caught up here — the health
+// sweep doubles as the re-broadcast trigger, so an operator (or the
+// relload watchdog) polling /v1/backends heals a rejoined backend
+// without extra machinery.
 func (rt *Router) backendsHandler(w http.ResponseWriter, r *http.Request) {
 	id := rt.nextRequestID()
 	w.Header().Set("X-Request-Id", id)
@@ -459,6 +597,13 @@ func (rt *Router) backendsHandler(w http.ResponseWriter, r *http.Request) {
 		go func(i int) {
 			defer wg.Done()
 			out[i].Ready = rt.probe(r.Context(), i)
+			if out[i].Ready {
+				out[i].Pending = rt.syncBackend(r.Context(), i)
+			} else {
+				rt.catmu.Lock()
+				out[i].Pending = len(rt.catlog) - rt.applied[i]
+				rt.catmu.Unlock()
+			}
 		}(i)
 	}
 	wg.Wait()

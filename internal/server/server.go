@@ -83,6 +83,10 @@ type Server struct {
 	wg       sync.WaitGroup // one unit per admitted request
 	reqSeq   atomic.Int64
 
+	// partialGroups pools valuation budgets across the slices of one
+	// partitioned check (POST /v1/partial budget_group).
+	partialGroups budgetGroups
+
 	// beforeCheck, when non-nil, runs inside the worker slot before the
 	// request body is processed. Tests use it to hold slots occupied
 	// while they probe admission control and draining.
@@ -122,6 +126,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/batch", handleAdmitted(s, "batch", s.serveBatch))
 	s.mux.HandleFunc("/v1/partial", handleAdmitted(s, "partial", s.servePartial))
 	s.mux.HandleFunc("/v1/catalog", s.catalogHandler)
+	s.mux.HandleFunc("POST /v1/catalog/{name}/insert", handleAdmitted(s, "insert", s.serveMutation("insert")))
+	s.mux.HandleFunc("POST /v1/catalog/{name}/delete", handleAdmitted(s, "delete", s.serveMutation("delete")))
+	s.mux.HandleFunc("GET /v1/catalog/{name}/verdicts", s.verdictsHandler)
 	s.mux.HandleFunc("/healthz", obs.HealthzHandler)
 	s.mux.HandleFunc("/readyz", s.readyzHandler)
 	return s

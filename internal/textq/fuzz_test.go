@@ -121,6 +121,87 @@ func FuzzParseDatabase(f *testing.F) {
 	})
 }
 
+// FuzzMutationBatch drives the pipeline behind the catalog mutation
+// endpoints: facts text parses into per-relation tuple lists, applying
+// them as an insert batch to an empty database over the same schemas
+// must rebuild exactly the parsed database (reapplying must be a
+// no-op — tuple-level idempotence is what makes mutation replay safe),
+// the rebuilt database must round-trip through the formatter, and a
+// batch that inserts and deletes the same tuples must drain back to
+// empty (inserts apply before deletes).
+func FuzzMutationBatch(f *testing.F) {
+	f.Add("Supt(e0, sales, c1).\nF(1).\n")
+	f.Add("Cust(c1, Ann, 01, 908, 5550001).\nCust(c1, Ann, 01, 908, 5550001).\n")
+	f.Add("Supt(e0, sales, c1). Supt(e0, sales, c2). Manage(e1, e0).")
+	f.Add("# comment\nF(0).\n")
+	f.Add("Nope(a).")
+	f.Add("F(2).")
+	f.Fuzz(func(t *testing.T, src string) {
+		ss := fuzzContext(t)
+		d, err := ParseFacts(src, ss)
+		if err != nil {
+			return
+		}
+		ins := make(map[string][]relation.Tuple)
+		for _, rel := range d.Relations() {
+			if ts := d.Instance(rel).Tuples(); len(ts) > 0 {
+				ins[rel] = append([]relation.Tuple(nil), ts...)
+			}
+		}
+		fresh := func() *relation.Database {
+			db := relation.NewDatabase()
+			for _, rel := range d.Relations() {
+				db.AddSchema(d.Schema(rel))
+			}
+			return db
+		}
+
+		db := fresh()
+		n, del, err := db.ApplyBatch(relation.Batch{Inserts: ins})
+		if err != nil {
+			t.Fatalf("insert batch of parsed facts rejected: %v\n%s", err, src)
+		}
+		if n != d.TupleCount() || del != 0 {
+			t.Fatalf("insert batch applied %d/%d rows, deleted %d", n, d.TupleCount(), del)
+		}
+		if !db.Equal(d) {
+			t.Fatalf("insert batch does not rebuild the parsed database:\n%v\nvs\n%v", db, d)
+		}
+		if n, del, err = db.ApplyBatch(relation.Batch{Inserts: ins}); err != nil || n != 0 || del != 0 {
+			t.Fatalf("reapplied insert batch not a no-op: ins %d del %d err %v", n, del, err)
+		}
+		if representable(db) {
+			out := FormatDatabase(db)
+			d2, err := ParseFacts(out, ss)
+			if err != nil {
+				t.Fatalf("rebuilt database does not reparse: %v\n%s", err, out)
+			}
+			if !d2.Equal(db) {
+				t.Fatalf("rebuilt database changed across round trip:\n%v\nvs\n%v", db, d2)
+			}
+		}
+		if _, del, err = db.ApplyBatch(relation.Batch{Deletes: ins}); err != nil || del != d.TupleCount() {
+			t.Fatalf("delete batch removed %d/%d rows, err %v", del, d.TupleCount(), err)
+		}
+		if !db.IsEmpty() {
+			t.Fatalf("database not empty after deleting every inserted tuple:\n%v", db)
+		}
+		if _, del, err = db.ApplyBatch(relation.Batch{Deletes: ins}); err != nil || del != 0 {
+			t.Fatalf("absent deletes not a no-op: del %d err %v", del, err)
+		}
+
+		// Insert and delete in one batch: inserts apply first, so the
+		// self-cancelling batch must drain to empty.
+		db2 := fresh()
+		if _, _, err := db2.ApplyBatch(relation.Batch{Inserts: ins, Deletes: ins}); err != nil {
+			t.Fatalf("self-cancelling batch rejected: %v", err)
+		}
+		if !db2.IsEmpty() {
+			t.Fatalf("self-cancelling batch left tuples:\n%v", db2)
+		}
+	})
+}
+
 func FuzzParseQuery(f *testing.F) {
 	f.Add("Q(C) :- Supt(E, D, C), E = e0, C != 'c9'")
 	f.Add("Q(C) :- Supt(E, D, C), E = e0\nQ(C) :- Supt(E, D, C), E = e1\n")

@@ -1,0 +1,95 @@
+#!/bin/sh
+# End-to-end smoke test for the catalog mutation endpoints: start
+# relserve, register the Example 2.1 context as a maintained catalog
+# with two watched queries (Q2 is incomplete — the DB misses the
+# support edge for the area-973 customer), then insert that edge over
+# POST /v1/catalog/crm/insert and assert the maintained verdict flips
+# to complete without a restart. Run via `make mutate-smoke`.
+set -eu
+
+GO=${GO:-go}
+here=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+repo=$(dirname -- "$here")
+tmp=$(mktemp -d)
+pid=""
+
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "mutate-smoke: building relserve"
+"$GO" build -o "$tmp/relserve" "$repo/cmd/relserve"
+
+"$tmp/relserve" -addr 127.0.0.1:0 -addr-file "$tmp/addr" >"$tmp/relserve.log" 2>&1 &
+pid=$!
+
+i=0
+while [ ! -s "$tmp/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "mutate-smoke: relserve never wrote its address" >&2
+        cat "$tmp/relserve.log" >&2
+        exit 1
+    fi
+    kill -0 "$pid" 2>/dev/null || {
+        echo "mutate-smoke: relserve exited early" >&2
+        cat "$tmp/relserve.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+addr=$(cat "$tmp/addr")
+echo "mutate-smoke: relserve up on $addr"
+
+# Register the maintained catalog: resident DB plus watched queries.
+reg=$(curl -fsS -X POST --data-binary @"$here/mutate_catalog.json" "http://$addr/v1/catalog")
+echo "mutate-smoke: registered: $reg"
+
+# The seed verdicts: Q1 complete, Q2 incomplete with a witness.
+verdicts=$(curl -fsS "http://$addr/v1/catalog/crm/verdicts")
+case $verdicts in
+*'"verdict": "incomplete"'*) ;;
+*)
+    echo "mutate-smoke: seed verdicts lack the incomplete Q2: $verdicts" >&2
+    exit 1
+    ;;
+esac
+
+# Insert the missing support edge; both watched verdicts recheck.
+mut=$(curl -fsS -X POST -d '{"facts": "Supt(e1, sales, c2)."}' "http://$addr/v1/catalog/crm/insert")
+echo "mutate-smoke: insert: $mut"
+case $mut in
+*'"rechecked": 2'*) ;;
+*)
+    echo "mutate-smoke: insert did not recheck both watched queries: $mut" >&2
+    exit 1
+    ;;
+esac
+
+# The maintained verdicts must have flipped to all-complete, no restart
+# and no re-posted check.
+verdicts=$(curl -fsS "http://$addr/v1/catalog/crm/verdicts?after=1&wait_ms=5000")
+case $verdicts in
+*'"verdict": "incomplete"'*)
+    echo "mutate-smoke: Q2 still incomplete after the insert: $verdicts" >&2
+    exit 1
+    ;;
+*'"verdict": "complete"'*) ;;
+*)
+    echo "mutate-smoke: unexpected post-insert verdicts: $verdicts" >&2
+    exit 1
+    ;;
+esac
+
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+if [ "$rc" != 0 ]; then
+    echo "mutate-smoke: graceful shutdown exited $rc, want 0" >&2
+    cat "$tmp/relserve.log" >&2
+    exit 1
+fi
+echo "mutate-smoke: OK (verdict flipped to complete in place)"
