@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-smoke bench-workers fmt-check vuln fuzz-smoke cover-check doc-sync examples-build server-smoke cluster-smoke mutate-smoke
+.PHONY: ci build vet test race bench bench-smoke bench-workers fmt-check vuln fuzz-smoke cover-check doc-sync examples-build server-smoke cluster-smoke mutate-smoke approx-smoke
 
-ci: fmt-check vet build examples-build test race bench-smoke cover-check doc-sync fuzz-smoke vuln server-smoke cluster-smoke mutate-smoke
+ci: fmt-check vet build examples-build test race bench-smoke cover-check doc-sync fuzz-smoke vuln server-smoke cluster-smoke mutate-smoke approx-smoke
 
 build:
 	$(GO) build ./...
@@ -20,9 +20,11 @@ test:
 # (server), the cross-request caches it leans on (cq compiled tableaux,
 # cc p(Dm) memoization), and the interned storage layer (relation: the
 # shared dictionary, its sort-order cache, and the lazy posting-list
-# builds), including the interned-vs-legacy cross-validation suites.
+# builds), including the interned-vs-legacy cross-validation suites,
+# and the approximation engine (approx: oracle calls fan out through
+# the same worker pool).
 race:
-	$(GO) test -race ./internal/core/... ./internal/server/... ./internal/cq/... ./internal/cc/... ./internal/relation/...
+	$(GO) test -race ./internal/core/... ./internal/server/... ./internal/cq/... ./internal/cc/... ./internal/relation/... ./internal/approx/...
 
 # End-to-end relserve smoke: random port, one Example 2.1 RCDP request
 # must come back "complete", /healthz must answer, SIGTERM must drain
@@ -43,6 +45,14 @@ cluster-smoke:
 # flips to complete in place (no restart, no re-posted check).
 mutate-smoke:
 	sh scripts/mutate_smoke.sh
+
+# Acquisition-advice smoke: register a maintained catalog with a
+# watched incomplete query, ask POST /v1/advise what to acquire, feed
+# the returned all_facts to POST /v1/catalog/{name}/insert, and assert
+# the maintained verdict flips to complete — the full advice loop over
+# live HTTP.
+approx-smoke:
+	sh scripts/approx_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -130,4 +140,5 @@ cover-check:
 	check ./internal/core/ 87; \
 	check ./internal/cq/ 84.5; \
 	check ./internal/cc/ 84.5; \
-	check ./internal/server/ 81
+	check ./internal/server/ 81; \
+	check ./internal/approx/ 83

@@ -9,6 +9,7 @@
 //	relcheck -schemas r.schema -master-schemas rm.schema \
 //	         -db d.facts -master dm.facts \
 //	         -constraints v.cc -query q.cq [-mode rcdp|rcqp|both]
+//	         [-approximate] [-advise]
 //	         [-timeout D] [-steps N] [-metrics addr] [-trace file]
 //
 // All files use the textq format (see package repro/internal/textq).
@@ -16,6 +17,13 @@
 // join-row steps); a governed stop prints an UNKNOWN verdict naming the
 // exhausted dimension instead of running unboundedly — the Σ₂ᵖ/Σ₃ᵖ
 // lower bounds mean no useful completion deadline can be promised.
+//
+// When the RCDP verdict is INCOMPLETE, -approximate searches the
+// selection lattice for certified-complete specializations and
+// generalizations of the query, and -advise prints ranked tuple
+// acquisitions whose insertion flips the verdict to COMPLETE (both via
+// package repro/internal/approx; every printed result is re-certified
+// by the exact checker).
 //
 // -metrics serves the observability endpoint of package
 // repro/internal/obs (Prometheus text at /metrics, expvar JSON at
@@ -28,10 +36,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/approx"
 	"repro/internal/cc"
 	"repro/internal/core"
+	"repro/internal/cq"
 	"repro/internal/obs"
 	"repro/internal/qlang"
 	"repro/internal/relation"
@@ -47,6 +58,8 @@ func main() {
 		constraintsPp = flag.String("constraints", "", "containment constraints")
 		queryPath     = flag.String("query", "", "query (required)")
 		mode          = flag.String("mode", "rcdp", "rcdp, rcqp or both")
+		approximate   = flag.Bool("approximate", false, "on an incomplete rcdp verdict, print certified-complete specializations and generalizations of the query")
+		advise        = flag.Bool("advise", false, "on an incomplete rcdp verdict, print ranked tuple acquisitions that make the database complete")
 		verbose       = flag.Bool("v", false, "print inputs before deciding")
 		timeout       = flag.Duration("timeout", 0, "wall-clock budget per check (0 = unlimited)")
 		steps         = flag.Int64("steps", 0, "join-row step budget per check (0 = unlimited)")
@@ -80,13 +93,13 @@ func main() {
 		}()
 	}
 	budget := core.Budget{Timeout: *timeout, MaxJoinRows: *steps}
-	if err := run(*schemasPath, *mSchemasPath, *dbPath, *masterPath, *constraintsPp, *queryPath, *mode, *verbose, budget); err != nil {
+	if err := run(*schemasPath, *mSchemasPath, *dbPath, *masterPath, *constraintsPp, *queryPath, *mode, *verbose, *approximate, *advise, budget); err != nil {
 		fmt.Fprintln(os.Stderr, "relcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(schemasPath, mSchemasPath, dbPath, masterPath, constraintsPath, queryPath, mode string, verbose bool, budget core.Budget) error {
+func run(schemasPath, mSchemasPath, dbPath, masterPath, constraintsPath, queryPath, mode string, verbose, approximate, advise bool, budget core.Budget) error {
 	if schemasPath == "" || queryPath == "" {
 		return fmt.Errorf("-schemas and -query are required")
 	}
@@ -131,6 +144,16 @@ func run(schemasPath, mSchemasPath, dbPath, masterPath, constraintsPath, queryPa
 		}
 		if err := reportRCDP(p.Q, p.D, p.Dm, p.V, budget); err != nil {
 			return err
+		}
+		if approximate {
+			if err := reportApproximate(p.Q, p.D, p.Dm, p.V, budget); err != nil {
+				return err
+			}
+		}
+		if advise {
+			if err := reportAdvise(p.Q, p.D, p.Dm, p.V, budget); err != nil {
+				return err
+			}
 		}
 	}
 	if doRCQP {
@@ -210,6 +233,78 @@ func reportRCQP(q qlang.Query, dm *relation.Database, vset *cc.Set, schemas map[
 		fmt.Printf("RCQP: UNKNOWN — %s\n", res.Detail)
 	}
 	return nil
+}
+
+// reportApproximate runs the specialization/generalization lattice
+// search of package approx and prints every certified-complete
+// candidate. On a COMPLETE or UNKNOWN base verdict it reports that
+// nothing needed approximating.
+func reportApproximate(q qlang.Query, d, dm *relation.Database, vset *cc.Set, budget core.Budget) error {
+	res, err := approx.Approximate(context.Background(), q, d, dm, vset,
+		approx.Options{Checker: &core.Checker{Budget: budget}})
+	if err != nil {
+		return fmt.Errorf("-approximate: %w", err)
+	}
+	if res.Verdict != core.VerdictIncomplete {
+		fmt.Printf("APPROX: nothing to approximate — base verdict is %s\n", res.Verdict)
+		return nil
+	}
+	fmt.Printf("APPROX: %d candidates explored, %d certified complete\n", res.Explored, res.Certified)
+	for _, spec := range res.Specializations {
+		fmt.Printf("  specialization (certified COMPLETE):\n%s", indent(formatCandidate(spec.Query)))
+	}
+	for _, gen := range res.Generalizations {
+		var dropped []string
+		for _, c := range gen.Dropped {
+			v, val := c.L, c.R
+			if !v.IsVar {
+				v, val = c.R, c.L
+			}
+			dropped = append(dropped, v.Name+" = "+string(val.Val))
+		}
+		fmt.Printf("  generalization (certified COMPLETE, dropped %s):\n%s",
+			strings.Join(dropped, ", "), indent(formatCandidate(gen.Query)))
+	}
+	if len(res.Specializations) == 0 && len(res.Generalizations) == 0 {
+		fmt.Println("  no certified-complete approximation within the search bounds")
+	}
+	return nil
+}
+
+// reportAdvise runs the witness-driven acquisition loop of package
+// approx and prints the ranked tuples whose insertion flips the
+// verdict, fact-formatted so they can be appended to the -db file.
+func reportAdvise(q qlang.Query, d, dm *relation.Database, vset *cc.Set, budget core.Budget) error {
+	adv, err := approx.Advise(context.Background(), q, d, dm, vset,
+		approx.Options{Checker: &core.Checker{Budget: budget}})
+	if err != nil {
+		return fmt.Errorf("-advise: %w", err)
+	}
+	if adv.Verdict != core.VerdictIncomplete {
+		fmt.Printf("ADVISE: nothing to acquire — base verdict is %s\n", adv.Verdict)
+		return nil
+	}
+	if adv.Flipped {
+		fmt.Printf("ADVISE: acquiring the following %d tuples makes D COMPLETE (%d witness rounds; ⊥ values are placeholders to resolve):\n",
+			len(adv.Items), adv.Rounds)
+	} else {
+		fmt.Printf("ADVISE: no certified flip within %d witness rounds; partial advice (final verdict %s):\n",
+			adv.Rounds, adv.Final)
+	}
+	for _, it := range adv.Items {
+		fmt.Printf("    %s\n", textq.FormatFact(it.Relation, it.Tuple))
+	}
+	return nil
+}
+
+// formatCandidate renders an approximation candidate in the textq
+// grammar, falling back to Go syntax if formatting fails.
+func formatCandidate(q *cq.CQ) string {
+	src, err := textq.FormatQuery(qlang.FromCQ(q))
+	if err != nil {
+		return q.String()
+	}
+	return strings.TrimRight(src, "\n")
 }
 
 func indent(s string) string {

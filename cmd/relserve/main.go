@@ -8,6 +8,8 @@
 //	POST /v1/rcdp     is D complete for Q relative to (Dm, V)?
 //	POST /v1/rcqp     does any complete database exist for Q?
 //	POST /v1/bounded  bounded search for FO/FP (undecidable) fragments
+//	POST /v1/approximate  complete specializations/generalizations of Q
+//	POST /v1/advise   ranked tuples whose acquisition makes D complete
 //	POST /v1/batch    many queries against one context, streamed as JSONL
 //	POST /v1/partial  one partition slice of an RCDP check (fan-out leg)
 //	POST /v1/catalog  register a named (Dm, V) master-data context
@@ -76,6 +78,8 @@ func run() error {
 		maxValuations = flag.Int("max-valuations", 0, "ceiling on per-request valuation budgets (0 = unlimited)")
 		maxSteps      = flag.Int64("max-steps", 0, "ceiling on per-request join-row budgets (0 = unlimited)")
 		maxTuples     = flag.Int64("max-tuples", 0, "ceiling on per-request tuple budgets (0 = unlimited)")
+		maxApproxCand = flag.Int("max-approx-candidates", 0, "ceiling on oracle calls per /v1/approximate or /v1/advise request (0 = 256)")
+		reprobe       = flag.Duration("reprobe", 0, "with -route: how often an ejected backend is probed for re-admission (0 = 5s)")
 		retryAfter    = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight checks")
 		metricsAddr   = flag.String("metrics", "", "serve /metrics, /debug/vars, /debug/pprof, /healthz and /readyz on this address (e.g. :9090)")
@@ -116,9 +120,10 @@ func run() error {
 			backends[i] = strings.TrimSpace(backends[i])
 		}
 		rt, err := server.NewRouter(server.RouterConfig{
-			Backends:   backends,
-			Fanout:     *fanout,
-			RetryAfter: *retryAfter,
+			Backends:        backends,
+			Fanout:          *fanout,
+			RetryAfter:      *retryAfter,
+			ReprobeInterval: *reprobe,
 		})
 		if err != nil {
 			return err
@@ -149,7 +154,8 @@ func run() error {
 			MaxJoinRows:   *maxSteps,
 			MaxTuples:     *maxTuples,
 		},
-		RetryAfter: *retryAfter,
+		RetryAfter:          *retryAfter,
+		MaxApproxCandidates: *maxApproxCand,
 	})
 	for _, spec := range catalogs {
 		name, dir, ok := strings.Cut(spec, "=")

@@ -1,0 +1,95 @@
+package approx_test
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/approx"
+	"repro/internal/textq"
+)
+
+// The CRM problem of Example 2.1: master relation DCust lists every
+// domestic customer with their area code; the containment constraint
+// makes D partially closed for supported domestic customers.
+const (
+	exSchemas = `
+rel Cust(cid, name, cc, ac, phn)
+rel Supt(eid, dept, cid)
+`
+	exMasterSchemas = `rel DCust(cid, name, ac, phn)`
+	exMaster        = `
+DCust(c1, Ann, 908, 5550001).
+DCust(c2, Bob, 973, 5550002).
+`
+	exDB = `
+Cust(c1, Ann, 01, 908, 5550001).
+Cust(c2, Bob, 01, 973, 5550002).
+Supt(e0, sales, c1).
+`
+	exConstraints = `cc phi0(C, A) :- Cust(C, N, CC, A, P), Supt(E, D, C), CC = 01 <= DCust[0, 2]`
+)
+
+// ExampleApproximate asks which domestic customers have support — an
+// incomplete query over the Example 2.1 database, since a legal
+// extension can give the area-973 customer c2 a support contract — and
+// receives the complete fragments: the query is already complete when
+// restricted to customer c1, or to area 908.
+func ExampleApproximate() {
+	p, err := textq.ParseProblem(textq.ProblemSource{
+		Schemas:       exSchemas,
+		MasterSchemas: exMasterSchemas,
+		DB:            exDB,
+		Master:        exMaster,
+		Constraints:   exConstraints,
+		Query:         `Q2(C) :- Supt(E, D, C), Cust(C, N, CC, A, P), CC = 01`,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := approx.Approximate(context.Background(), p.Q, p.D, p.Dm, p.V,
+		approx.Options{MaxSelections: 2, MaxCandidates: 48, MaxValuesPerVar: 4})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("verdict:", res.Verdict)
+	for _, spec := range res.Specializations {
+		for _, s := range spec.Selections {
+			fmt.Printf("complete when %s = %s\n", s.Var, s.Value)
+		}
+	}
+	// Output:
+	// verdict: incomplete
+	// complete when A = 908
+	// complete when C = c1
+}
+
+// ExampleAdvise starts from a CRM database missing the c1 rows, so the
+// area-908 query is incomplete, and asks what data to acquire: the
+// returned facts — derived from the checker's own counterexample
+// witness — are certified to flip the verdict to complete once
+// inserted, with ⊥ placeholders marking positions any value fills.
+func ExampleAdvise() {
+	p, err := textq.ParseProblem(textq.ProblemSource{
+		Schemas:       exSchemas,
+		MasterSchemas: exMasterSchemas,
+		DB:            `Cust(c2, Bob, 01, 973, 5550002).`,
+		Master:        exMaster,
+		Constraints:   exConstraints,
+		Query:         `Q1(C) :- Supt(E, D, C), Cust(C, N, CC, A, P), E = e0, CC = 01, A = 908`,
+	})
+	if err != nil {
+		panic(err)
+	}
+	adv, err := approx.Advise(context.Background(), p.Q, p.D, p.Dm, p.V, approx.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("verdict:", adv.Verdict, "flipped:", adv.Flipped)
+	for _, it := range adv.Items {
+		fmt.Println("acquire:", textq.FormatFact(it.Relation, it.Tuple))
+	}
+	// Output:
+	// verdict: incomplete flipped: true
+	// acquire: Supt(e0, "⊥4", c1).
+	// acquire: Cust(c1, "⊥3", 01, 908, "⊥2").
+}

@@ -35,6 +35,11 @@ type RCDPResult struct {
 	// Disjunct, when incomplete, is the index of the query disjunct
 	// that produced the counterexample.
 	Disjunct int
+	// Valuation, when incomplete, is the witness valuation μ of the
+	// disjunct tableau's variables: Extension is μ(T_Disjunct) and
+	// NewTuple is μ(u_Disjunct). It is a private clone — the search
+	// engines reuse their bindings — so callers may keep or mutate it.
+	Valuation query.Binding
 	// Valuations is the number of candidate valuations inspected. It is
 	// a work counter, not part of the verdict: the parallel engine
 	// counts speculative work that the sequential engine's early return
@@ -338,6 +343,9 @@ func rcdpWitness(t *cq.Tableau, di int, b query.Binding, schemas map[string]*rel
 		Extension: delta,
 		NewTuple:  head,
 		Disjunct:  di,
+		// Clone: the binding is owned by the search engine and is
+		// mutated after this call returns (see parallelFn).
+		Valuation: b.Clone(),
 	}, nil
 }
 

@@ -41,6 +41,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cc"
 	"repro/internal/cq"
@@ -105,6 +106,17 @@ func NewUniverse(d, dm *relation.Database, q qlang.Query, v *cc.Set, nFresh int)
 		u.freshSet[cand] = true
 	}
 	return u
+}
+
+// IsFreshValue reports whether val is shaped like a placeholder the
+// universe mints (⊥1, ⊥2, …): a value standing in for "some value
+// outside the constants" rather than a concrete constant of the
+// inputs. Witness extensions carry such placeholders when the
+// counterexample needs tuples no concrete value is forced for; the
+// approximation layer uses this to rank acquisition advice (concrete
+// facts before placeholder patterns).
+func IsFreshValue(val relation.Value) bool {
+	return strings.HasPrefix(string(val), "⊥")
 }
 
 // internedConsts fills u.Consts through the shared dictionary when

@@ -76,6 +76,17 @@ func Contained(q1, q2 *CQ, schemas map[string]*relation.Schema) (bool, error) {
 	return false, nil
 }
 
+// Specializes reports whether spec is a specialization of q: spec ⊆ q
+// over all databases of the given schemas, so every answer a complete
+// spec certifies is an answer of q. It is Contained(spec, q) under a
+// name that states the lattice direction the approximation engine
+// cares about. Exact for inequality-free q; sound otherwise (a "true"
+// answer is always correct), which is the direction certification
+// needs.
+func Specializes(spec, q *CQ, schemas map[string]*relation.Schema) (bool, error) {
+	return Contained(spec, q, schemas)
+}
+
 // Equivalent reports mutual containment of two CQs (exact for
 // inequality-free queries).
 func Equivalent(q1, q2 *CQ, schemas map[string]*relation.Schema) (bool, error) {

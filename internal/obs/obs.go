@@ -144,6 +144,32 @@ var (
 		"completeness check latency", DefBuckets)
 )
 
+// The approximation metric set (package internal/approx): the
+// specialization/generalization lattice search and the witness-driven
+// acquisition-advice loop.
+var (
+	// ApproxCandidates counts candidate queries the approximation
+	// lattice search submitted to the oracle (certified or not).
+	ApproxCandidates = NewCounter("relcomp_approx_candidates_total",
+		"approximation candidates submitted to the oracle checker")
+	// ApproxCertified counts oracle-certified approximation results by
+	// kind (specialization, generalization).
+	ApproxCertified = NewCounterVec("relcomp_approx_certified_total",
+		"oracle-certified complete approximations", "kind")
+	// AdviceRounds counts witness-acquisition rounds of the advice loop
+	// (one RecheckDeltaCtx round trip each).
+	AdviceRounds = NewCounter("relcomp_approx_advice_rounds_total",
+		"acquisition-advice witness rounds")
+	// AdviceFlips counts advice batches certified to flip the verdict
+	// from incomplete to complete.
+	AdviceFlips = NewCounter("relcomp_approx_advice_flips_total",
+		"advice batches certified to flip the verdict to complete")
+	// ApproxSeconds is the wall-clock latency histogram of approximation
+	// engine calls (Approximate and Advise alike).
+	ApproxSeconds = NewHistogram("relcomp_approx_seconds",
+		"approximation engine call latency", DefBuckets)
+)
+
 // The serving-layer metric set (package internal/server / cmd/relserve).
 // Declared here with the engine metrics so every relcomp exposition
 // name lives in one place.
@@ -179,12 +205,16 @@ var (
 	// RouteRequests counts router-mode forwards by backend.
 	RouteRequests = NewCounterVec("relserve_route_requests_total",
 		"router-mode requests forwarded, by backend", "backend")
-	// RouteRetries counts router-mode forward retries after a
-	// connection failure, by backend.
+	// RouteRetries counts router-mode failovers a backend received
+	// because an earlier ring candidate was ejected or failed.
 	RouteRetries = NewCounterVec("relserve_route_retries_total",
-		"router-mode forwards retried after connection failure, by backend", "backend")
-	// RouteFailures counts router-mode forwards that failed even after
-	// the retry, by backend.
+		"router-mode failovers received from ejected or failing peers, by backend", "backend")
+	// RouteFailures counts router-mode forwards that failed on
+	// connection error, by backend.
 	RouteFailures = NewCounterVec("relserve_route_failures_total",
-		"router-mode forwards failed after retry, by backend", "backend")
+		"router-mode forwards failed on connection error, by backend", "backend")
+	// RouteEjections counts backends ejected from the routing rotation
+	// after a connection failure, by backend.
+	RouteEjections = NewCounterVec("relserve_route_ejections_total",
+		"router-mode backends ejected from the routing rotation, by backend", "backend")
 )

@@ -1,0 +1,219 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strings"
+
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/obs"
+	"repro/internal/qlang"
+	"repro/internal/textq"
+)
+
+// The approximation endpoints wrap internal/approx behind the shared
+// serving machinery: POST /v1/approximate computes certified-complete
+// specializations and generalizations of an incomplete query, POST
+// /v1/advise computes acquisition advice — ranked facts whose insertion
+// flips the verdict to complete. Both accept the same problem shapes as
+// /v1/rcdp (inline or catalog-backed) with one extra convenience: a
+// catalog-backed request with no db field runs against the entry's
+// resident database, so advice can be computed for exactly the state
+// the mutation endpoints maintain and then applied through them.
+
+// ApproxRequest is the body of /v1/approximate: a check request plus
+// lattice-search knobs (zero keeps the engine defaults; max_candidates
+// is additionally clamped to the operator ceiling).
+type ApproxRequest struct {
+	CheckRequest
+	MaxSelections   int `json:"max_selections,omitempty"`
+	MaxCandidates   int `json:"max_candidates,omitempty"`
+	MaxValuesPerVar int `json:"max_values_per_var,omitempty"`
+}
+
+// AdviseRequest is the body of /v1/advise: a check request plus the
+// witness-round cap (zero keeps the engine default).
+type AdviseRequest struct {
+	CheckRequest
+	MaxRounds int `json:"max_rounds,omitempty"`
+}
+
+// SelectionJSON is one added constant selection of a specialization.
+type SelectionJSON struct {
+	Var   string `json:"var"`
+	Value string `json:"value"`
+}
+
+// SpecializationJSON is one certified-complete specialization.
+type SpecializationJSON struct {
+	Query      string          `json:"query"`
+	Selections []SelectionJSON `json:"selections"`
+}
+
+// GeneralizationJSON is one certified-complete generalization; Dropped
+// lists the removed selections as "Var = value" strings.
+type GeneralizationJSON struct {
+	Query   string   `json:"query"`
+	Dropped []string `json:"dropped"`
+}
+
+// ApproxResponse is the body of a successful /v1/approximate call.
+// Specializations and Generalizations are empty unless Verdict is
+// "incomplete" — a complete query needs no approximation.
+type ApproxResponse struct {
+	RequestID       string               `json:"request_id"`
+	Verdict         string               `json:"verdict"`
+	Reason          string               `json:"reason,omitempty"`
+	Specializations []SpecializationJSON `json:"specializations,omitempty"`
+	Generalizations []GeneralizationJSON `json:"generalizations,omitempty"`
+	Explored        int                  `json:"explored"`
+	Certified       int                  `json:"certified"`
+}
+
+// AdviceItemJSON is one ranked acquisition candidate. Fact is the tuple
+// in textq fact syntax, ready to feed to the mutation endpoints; Fresh
+// counts ⊥ placeholder values (0 = concrete, insert as-is).
+type AdviceItemJSON struct {
+	Round    int      `json:"round"`
+	Relation string   `json:"relation"`
+	Tuple    []string `json:"tuple"`
+	Fresh    int      `json:"fresh"`
+	Fact     string   `json:"fact"`
+}
+
+// AdviseResponse is the body of a successful /v1/advise call. AllFacts
+// aggregates every item's fact syntax into one facts block accepted
+// verbatim by POST /v1/catalog/{name}/insert.
+type AdviseResponse struct {
+	RequestID string           `json:"request_id"`
+	Verdict   string           `json:"verdict"`
+	Final     string           `json:"final"`
+	Flipped   bool             `json:"flipped"`
+	Rounds    int              `json:"rounds"`
+	Items     []AdviceItemJSON `json:"items,omitempty"`
+	AllFacts  string           `json:"all_facts,omitempty"`
+}
+
+// approxOptions assembles the engine options for one request: the
+// request knobs over the engine defaults, with the candidate budget
+// clamped to the operator ceiling.
+func (s *Server) approxOptions(budget core.Budget, maxSel, maxCand, maxVals, maxRounds int) approx.Options {
+	if maxCand <= 0 || maxCand > s.cfg.MaxApproxCandidates {
+		maxCand = s.cfg.MaxApproxCandidates
+	}
+	return approx.Options{
+		Checker:         &core.Checker{Workers: s.cfg.CheckWorkers, Budget: budget},
+		MaxSelections:   maxSel,
+		MaxCandidates:   maxCand,
+		MaxValuesPerVar: maxVals,
+		MaxRounds:       maxRounds,
+	}
+}
+
+// serveApproximate handles POST /v1/approximate.
+func (s *Server) serveApproximate(ctx context.Context, id string, req *ApproxRequest, w http.ResponseWriter, _ *http.Request) {
+	in, err := s.resolveWith(&req.CheckRequest, true)
+	if err != nil {
+		writeError(w, id, statusOf(err), "%s", err.Error())
+		return
+	}
+	if in.release != nil {
+		defer in.release()
+	}
+	if err := decidable(in); err != nil {
+		writeError(w, id, statusOf(err), "%s", err.Error())
+		return
+	}
+	opts := s.approxOptions(in.budget, req.MaxSelections, req.MaxCandidates, req.MaxValuesPerVar, 0)
+	res, err := approx.Approximate(ctx, in.q, in.d, in.dm, in.v, opts)
+	if err != nil {
+		writeError(w, id, statusOf(err), "%s", err.Error())
+		return
+	}
+	out := &ApproxResponse{
+		RequestID: id,
+		Verdict:   res.Verdict.String(),
+		Reason:    res.Base.Reason.String(),
+		Explored:  res.Explored,
+		Certified: res.Certified,
+	}
+	for _, spec := range res.Specializations {
+		js := SpecializationJSON{Query: formatCQ(spec.Query)}
+		for _, sel := range spec.Selections {
+			js.Selections = append(js.Selections, SelectionJSON{Var: sel.Var, Value: string(sel.Value)})
+		}
+		out.Specializations = append(out.Specializations, js)
+	}
+	for _, gen := range res.Generalizations {
+		js := GeneralizationJSON{Query: formatCQ(gen.Query)}
+		for _, c := range gen.Dropped {
+			v, val := c.L, c.R
+			if !v.IsVar {
+				v, val = c.R, c.L
+			}
+			js.Dropped = append(js.Dropped, v.Name+" = "+string(val.Val))
+		}
+		out.Generalizations = append(out.Generalizations, js)
+	}
+	obs.ServeVerdicts.Inc(out.Verdict)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// serveAdvise handles POST /v1/advise.
+func (s *Server) serveAdvise(ctx context.Context, id string, req *AdviseRequest, w http.ResponseWriter, _ *http.Request) {
+	in, err := s.resolveWith(&req.CheckRequest, true)
+	if err != nil {
+		writeError(w, id, statusOf(err), "%s", err.Error())
+		return
+	}
+	if in.release != nil {
+		defer in.release()
+	}
+	if err := decidable(in); err != nil {
+		writeError(w, id, statusOf(err), "%s", err.Error())
+		return
+	}
+	opts := s.approxOptions(in.budget, 0, 0, 0, req.MaxRounds)
+	adv, err := approx.Advise(ctx, in.q, in.d, in.dm, in.v, opts)
+	if err != nil {
+		writeError(w, id, statusOf(err), "%s", err.Error())
+		return
+	}
+	out := &AdviseResponse{
+		RequestID: id,
+		Verdict:   adv.Verdict.String(),
+		Final:     adv.Final.String(),
+		Flipped:   adv.Flipped,
+		Rounds:    adv.Rounds,
+	}
+	for _, it := range adv.Items {
+		fact := textq.FormatFact(it.Relation, it.Tuple)
+		out.Items = append(out.Items, AdviceItemJSON{
+			Round:    it.Round,
+			Relation: it.Relation,
+			Tuple:    tupleJSON(it.Tuple),
+			Fresh:    it.Fresh,
+			Fact:     fact,
+		})
+		if out.AllFacts != "" {
+			out.AllFacts += "\n"
+		}
+		out.AllFacts += fact
+	}
+	obs.ServeVerdicts.Inc(out.Verdict)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// formatCQ renders a candidate query in the textq grammar; candidates
+// are built from parsed queries, so formatting cannot fail in practice
+// and a failure degrades to the Go syntax rather than erroring the
+// whole response.
+func formatCQ(q *cq.CQ) string {
+	src, err := textq.FormatQuery(qlang.FromCQ(q))
+	if err != nil {
+		return q.String()
+	}
+	return strings.TrimRight(src, "\n")
+}

@@ -1,0 +1,180 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/textq"
+)
+
+// broadQuery drops Q1's area selection: incomplete over exDB (c2 can
+// legally gain a support edge), with complete specializations.
+const broadQuery = `Q2(C) :- Supt(E, D, C), Cust(C, N, CC, A, P), CC = 01`
+
+func TestApproximateInline(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := ApproxRequest{CheckRequest: inlineRequest()}
+	req.Query = broadQuery
+	var resp ApproxResponse
+	if code := post(t, ts.URL+"/v1/approximate", req, &resp); code != http.StatusOK {
+		t.Fatalf("status %d, resp %+v", code, resp)
+	}
+	if resp.Verdict != "incomplete" {
+		t.Fatalf("verdict %q, want incomplete", resp.Verdict)
+	}
+	if len(resp.Specializations) == 0 || resp.Explored == 0 || resp.Certified == 0 {
+		t.Fatalf("no certified specializations: %+v", resp)
+	}
+	found := false
+	schemas, err := textq.ParseSchemas(exSchemas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range resp.Specializations {
+		// Every returned query must round-trip through the grammar.
+		if _, err := textq.ParseQuery(spec.Query, schemas); err != nil {
+			t.Fatalf("specialization %q does not parse: %v", spec.Query, err)
+		}
+		for _, sel := range spec.Selections {
+			if sel.Var == "A" && sel.Value == "908" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("A=908 specialization missing: %+v", resp.Specializations)
+	}
+	if resp.RequestID == "" {
+		t.Fatal("request id missing")
+	}
+}
+
+func TestApproximateCandidateCeiling(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxApproxCandidates: 3})
+	req := ApproxRequest{CheckRequest: inlineRequest(), MaxCandidates: 1000}
+	req.Query = broadQuery
+	var resp ApproxResponse
+	if code := post(t, ts.URL+"/v1/approximate", req, &resp); code != http.StatusOK {
+		t.Fatalf("status %d, resp %+v", code, resp)
+	}
+	if resp.Explored > 3 {
+		t.Fatalf("ceiling not enforced: explored %d > 3", resp.Explored)
+	}
+}
+
+func TestApproximateRejectsNonCQ(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := ApproxRequest{CheckRequest: inlineRequest()}
+	req.Query = "Q(C) :- Supt(E, D, C)\nQ(C) :- Cust(C, N, CC, A, P)"
+	var er ErrorResponse
+	if code := post(t, ts.URL+"/v1/approximate", req, &er); code != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422 (err %q)", code, er.Error)
+	}
+	if !strings.Contains(er.Error, "CQ") {
+		t.Fatalf("error %q does not name the CQ requirement", er.Error)
+	}
+}
+
+func TestAdviseInlineFlips(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := AdviseRequest{CheckRequest: inlineRequest()}
+	req.DB = `Cust(c2, Bob, 01, 973, 5550002).`
+	var resp AdviseResponse
+	if code := post(t, ts.URL+"/v1/advise", req, &resp); code != http.StatusOK {
+		t.Fatalf("status %d, resp %+v", code, resp)
+	}
+	if resp.Verdict != "incomplete" || !resp.Flipped || resp.Final != "complete" {
+		t.Fatalf("advice did not flip: %+v", resp)
+	}
+	if len(resp.Items) == 0 || resp.Rounds == 0 {
+		t.Fatalf("empty advice: %+v", resp)
+	}
+	// AllFacts must parse as facts over the schemas — the contract the
+	// mutation endpoints and the smoke script rely on.
+	schemas, err := textq.ParseSchemas(exSchemas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := textq.ParseFacts(resp.AllFacts, schemas); err != nil {
+		t.Fatalf("all_facts does not round-trip: %v\n%s", err, resp.AllFacts)
+	}
+	for i, it := range resp.Items {
+		if it.Fact == "" || it.Relation == "" || len(it.Tuple) == 0 {
+			t.Fatalf("item %d incomplete: %+v", i, it)
+		}
+		if i > 0 && resp.Items[i-1].Fresh > it.Fresh {
+			t.Fatalf("items not ranked concrete-first: %+v", resp.Items)
+		}
+	}
+}
+
+// TestAdviseCatalogResidentLoop drives the full acquisition loop over
+// HTTP: advise against the catalog's resident database, feed all_facts
+// to the mutation endpoint, and watch the incomplete verdict flip.
+func TestAdviseCatalogResidentLoop(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerMaintainedCRM(t, ts)
+
+	req := AdviseRequest{CheckRequest: CheckRequest{Catalog: "crm", Query: incompleteQuery}}
+	var resp AdviseResponse
+	if code := post(t, ts.URL+"/v1/advise", req, &resp); code != http.StatusOK {
+		t.Fatalf("advise status %d, resp %+v", code, resp)
+	}
+	if resp.Verdict != "incomplete" || !resp.Flipped || resp.AllFacts == "" {
+		t.Fatalf("advice did not flip on resident DB: %+v", resp)
+	}
+
+	var mut MutationResponse
+	if code := post(t, ts.URL+"/v1/catalog/crm/insert",
+		MutationRequest{Facts: resp.AllFacts}, &mut); code != http.StatusOK {
+		t.Fatalf("insert status %d, resp %+v", code, mut)
+	}
+	if _, vr := getVerdicts(t, ts.URL+"/v1/catalog/crm/verdicts"); vr != nil {
+		for _, v := range vr.Verdicts {
+			if v.Query == incompleteQuery && v.Verdict != "complete" {
+				t.Fatalf("maintained verdict did not flip: %+v", vr.Verdicts)
+			}
+		}
+	}
+
+	// A second advise run sees the acquired state: nothing left to do.
+	var again AdviseResponse
+	if code := post(t, ts.URL+"/v1/advise", req, &again); code != http.StatusOK {
+		t.Fatalf("re-advise status %d", code)
+	}
+	if again.Verdict != "complete" || len(again.Items) != 0 {
+		t.Fatalf("re-advise after acquisition: %+v", again)
+	}
+}
+
+// TestAdviseCatalogExplicitDBUnchanged: a catalog request with an
+// explicit db field keeps /v1/rcdp semantics — the resident database is
+// not consulted.
+func TestAdviseCatalogExplicitDBUnchanged(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerMaintainedCRM(t, ts)
+	req := AdviseRequest{CheckRequest: CheckRequest{
+		Catalog: "crm",
+		DB:      exDB,
+		Query:   exQuery,
+	}}
+	var resp AdviseResponse
+	if code := post(t, ts.URL+"/v1/advise", req, &resp); code != http.StatusOK {
+		t.Fatalf("status %d, resp %+v", code, resp)
+	}
+	if resp.Verdict != "complete" {
+		t.Fatalf("verdict %q, want complete over explicit exDB", resp.Verdict)
+	}
+}
+
+func TestApproximateUnknownField(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var er ErrorResponse
+	code := post(t, ts.URL+"/v1/approximate", map[string]any{
+		"query": broadQuery, "no_such_knob": 1,
+	}, &er)
+	if code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 (err %q)", code, er.Error)
+	}
+}

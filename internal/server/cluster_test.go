@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/textq"
 )
@@ -466,13 +467,15 @@ func TestRouterFanoutMode(t *testing.T) {
 	}
 }
 
-// TestRouterRetryAndFailure: a dead backend fails the forward after
-// one retry with 502, and the ledger records it.
-func TestRouterRetryAndFailure(t *testing.T) {
+// TestRouterEjectOnFailure: a dead backend fails its forward with 502
+// and is ejected from the routing rotation — no blind resend; the next
+// request is refused without touching the wire until a reprobe heals
+// the backend.
+func TestRouterEjectOnFailure(t *testing.T) {
 	dead := httptest.NewServer(http.NotFoundHandler())
 	deadURL := dead.URL
 	dead.Close() // nothing listens here anymore
-	rt, err := NewRouter(RouterConfig{Backends: []string{deadURL}})
+	rt, err := NewRouter(RouterConfig{Backends: []string{deadURL}, ReprobeInterval: time.Hour})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -483,11 +486,23 @@ func TestRouterRetryAndFailure(t *testing.T) {
 	if code := post(t, front.URL+"/v1/rcdp", req, &eresp); code != http.StatusBadGateway {
 		t.Fatalf("dead backend: status %d, want 502", code)
 	}
-	if rt.health[0].retries.Load() != 1 || rt.health[0].failures.Load() != 1 {
-		t.Errorf("ledger retries=%d failures=%d, want 1/1",
+	if rt.health[0].retries.Load() != 0 || rt.health[0].failures.Load() != 1 {
+		t.Errorf("ledger retries=%d failures=%d, want 0/1",
 			rt.health[0].retries.Load(), rt.health[0].failures.Load())
 	}
-	// Health reports the backend not ready.
+	if !rt.health[0].ejected.Load() {
+		t.Error("failed backend not ejected")
+	}
+	// The next request finds an empty rotation (the hour-long reprobe
+	// interval keeps the ejected backend out) and never dials out.
+	forwardsBefore := rt.health[0].forwards.Load()
+	if code := post(t, front.URL+"/v1/rcdp", req, &eresp); code != http.StatusBadGateway {
+		t.Fatalf("empty rotation: status %d, want 502", code)
+	}
+	if got := rt.health[0].forwards.Load(); got != forwardsBefore {
+		t.Errorf("ejected backend was dialed: forwards %d -> %d", forwardsBefore, got)
+	}
+	// Health reports the backend not ready and ejected.
 	resp, err := http.Get(front.URL + "/v1/backends")
 	if err != nil {
 		t.Fatal(err)
@@ -497,8 +512,8 @@ func TestRouterRetryAndFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if len(statuses) != 1 || statuses[0].Ready {
-		t.Fatalf("dead backend reported ready: %+v", statuses)
+	if len(statuses) != 1 || statuses[0].Ready || statuses[0].State != "ejected" {
+		t.Fatalf("dead backend status: %+v", statuses)
 	}
 }
 
@@ -617,4 +632,107 @@ func getBackends(t *testing.T, frontURL string) []BackendStatus {
 		t.Fatal(err)
 	}
 	return statuses
+}
+
+// TestRouterRingEjectionFailover: a connection failure ejects the
+// primary backend from the rotation, routed traffic deterministically
+// fails over to the next ring candidate without a blind resend, and
+// the health sweep re-admits the backend once it probes ready with a
+// healed replay log.
+func TestRouterRingEjectionFailover(t *testing.T) {
+	// Both backends sit behind kill switches so the test can kill
+	// whichever one the ring makes primary for the catalog key.
+	servers := make([]*Server, 2)
+	downs := make([]atomic.Bool, 2)
+	urls := make([]string, 2)
+	for i := range servers {
+		i := i
+		servers[i] = New(Config{})
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if downs[i].Load() {
+				hj, ok := w.(http.Hijacker)
+				if !ok {
+					t.Error("test server does not support hijacking")
+					return
+				}
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+				}
+				return
+			}
+			servers[i].Handler().ServeHTTP(w, r)
+		}))
+		defer ts.Close()
+		urls[i] = ts.URL
+	}
+	rt, err := NewRouter(RouterConfig{Backends: urls, ReprobeInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	var info CatalogInfo
+	if code := post(t, front.URL+"/v1/catalog", CatalogRequest{
+		Name:          "crm",
+		Schemas:       exSchemas,
+		MasterSchemas: exMasterSchemas,
+		DB:            exDB,
+		Master:        exMaster,
+		Constraints:   exConstraints,
+	}, &info); code != http.StatusCreated {
+		t.Fatalf("register: status %d", code)
+	}
+
+	order := rt.candidates("crm")
+	primary, standby := order[0], order[1]
+	req := CheckRequest{Catalog: "crm", DB: exDB, Query: exQuery}
+
+	// Kill the primary: the routed check still succeeds — the forward
+	// fails once, ejects the primary and fails over to the standby.
+	downs[primary].Store(true)
+	var resp CheckResponse
+	if code := post(t, front.URL+"/v1/rcdp", req, &resp); code != http.StatusOK {
+		t.Fatalf("failover check: status %d, resp %+v", code, resp)
+	}
+	if resp.Verdict != "complete" {
+		t.Fatalf("failover verdict %q, want complete", resp.Verdict)
+	}
+	if !rt.health[primary].ejected.Load() {
+		t.Fatal("primary not ejected after connection failure")
+	}
+	if rt.health[standby].retries.Load() == 0 {
+		t.Error("standby did not record the failover")
+	}
+
+	// While ejected (and the reprobe interval far away), routed checks
+	// skip the primary entirely: no dial, straight to the standby.
+	primaryForwards := rt.health[primary].forwards.Load()
+	if code := post(t, front.URL+"/v1/rcdp", req, &resp); code != http.StatusOK {
+		t.Fatalf("ejected-primary check: status %d", code)
+	}
+	if got := rt.health[primary].forwards.Load(); got != primaryForwards {
+		t.Errorf("ejected primary was dialed: forwards %d -> %d", primaryForwards, got)
+	}
+	statuses := getBackends(t, front.URL)
+	if statuses[primary].State != "ejected" || statuses[standby].State != "healthy" {
+		t.Fatalf("states %q/%q, want ejected/healthy",
+			statuses[primary].State, statuses[standby].State)
+	}
+
+	// Revive the primary: the health sweep probes it ready, heals the
+	// replay log (the registration broadcast it missed nothing of) and
+	// re-admits it; routed traffic returns to the primary.
+	downs[primary].Store(false)
+	statuses = getBackends(t, front.URL)
+	if statuses[primary].State != "healthy" || statuses[primary].Pending != 0 {
+		t.Fatalf("revived primary status %+v, want healthy with 0 pending", statuses[primary])
+	}
+	primaryForwards = rt.health[primary].forwards.Load()
+	if code := post(t, front.URL+"/v1/rcdp", req, &resp); code != http.StatusOK {
+		t.Fatalf("post-heal check: status %d", code)
+	}
+	if got := rt.health[primary].forwards.Load(); got != primaryForwards+1 {
+		t.Errorf("re-admitted primary not routed to: forwards %d -> %d", primaryForwards, got)
+	}
 }

@@ -263,6 +263,16 @@ func (s *Server) process(ctx context.Context, req *CheckRequest, run func(ctx co
 // resolve turns a decoded request into parsed problem parts and the
 // effective, ceiling-clamped budget.
 func (s *Server) resolve(req *CheckRequest) (*checkInput, error) {
+	return s.resolveWith(req, false)
+}
+
+// resolveWith is resolve with one extra behavior for the approximation
+// endpoints: when residentDefault is set, a catalog-backed request with
+// an empty db field runs against the entry's resident database (the
+// state the mutation endpoints maintain) instead of an empty one. The
+// check endpoints keep residentDefault off — their empty db has always
+// meant the empty database, and changing that would change verdicts.
+func (s *Server) resolveWith(req *CheckRequest, residentDefault bool) (*checkInput, error) {
 	if req.Query == "" {
 		return nil, httpErrorf(http.StatusBadRequest, "query is required")
 	}
@@ -279,8 +289,11 @@ func (s *Server) resolve(req *CheckRequest) (*checkInput, error) {
 		// Hold the entry's read side until the check releases it, so a
 		// concurrent mutation cannot patch Dm or V mid-search.
 		e.mu.RLock()
-		d, err := textq.ParseFacts(req.DB, e.Schemas)
-		if err != nil {
+		var d *relation.Database
+		var err error
+		if residentDefault && req.DB == "" {
+			d = e.D
+		} else if d, err = textq.ParseFacts(req.DB, e.Schemas); err != nil {
 			e.mu.RUnlock()
 			return nil, httpErrorf(http.StatusBadRequest, "db: %v", err)
 		}

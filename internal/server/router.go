@@ -37,16 +37,29 @@ type RouterConfig struct {
 	// Client is the HTTP client used for forwards, fan-out legs and
 	// health probes (default http.DefaultClient).
 	Client *http.Client
+	// ReprobeInterval is how long an ejected backend stays out of the
+	// routing rotation before a routed request may reprobe it (default
+	// 5s). The /v1/backends health sweep re-admits independently of the
+	// interval.
+	ReprobeInterval time.Duration
 }
 
 // Router is the relserve scale-out front door: it consistent-hashes
 // each request's routing key (the catalog name when present, else the
 // query text) onto a backend, so all requests against one catalog land
 // on the process that holds that catalog's warm caches — the p(Dm)
-// memo, the column indexes and the compiled-tableau cache. Forwards
-// are retried once on connection failure; catalog registrations are
-// broadcast to every backend so any of them can serve any catalog if
-// the ring moves.
+// memo, the column indexes and the compiled-tableau cache.
+//
+// Health is state, not a retry: a connection failure ejects the backend
+// from the routing rotation, and routed requests fail over to the next
+// distinct backend in ring order (deterministic, so one catalog's
+// traffic lands on one stand-in, keeping its caches warm too). An
+// ejected backend is re-admitted when a probe sees it ready AND the
+// catalog replay log has fully healed it (syncBackend pending 0) —
+// either opportunistically from the routing path after ReprobeInterval,
+// or from the /v1/backends health sweep. Catalog registrations are
+// broadcast to every backend so any of them can serve any catalog when
+// the rotation moves.
 type Router struct {
 	cfg   RouterConfig
 	ring  []ringPoint
@@ -75,12 +88,18 @@ type catalogLogEntry struct {
 	body []byte
 }
 
-// backendHealth is the router's per-backend forward ledger, surfaced
-// on GET /v1/backends next to a live readiness probe.
+// backendHealth is the router's per-backend forward ledger and
+// rotation state, surfaced on GET /v1/backends next to a live
+// readiness probe. retries counts failovers received from ejected or
+// failing peers; ejected takes the backend out of the routing
+// rotation; lastReprobe rate-limits opportunistic heal attempts from
+// the routing path.
 type backendHealth struct {
-	forwards atomic.Int64
-	retries  atomic.Int64
-	failures atomic.Int64
+	forwards    atomic.Int64
+	retries     atomic.Int64
+	failures    atomic.Int64
+	ejected     atomic.Bool
+	lastReprobe atomic.Int64 // unix nanos of the last routing-path reprobe
 }
 
 // ringPoint is one virtual node of the consistent-hash ring.
@@ -104,6 +123,9 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 16 << 20
+	}
+	if cfg.ReprobeInterval <= 0 {
+		cfg.ReprobeInterval = 5 * time.Second
 	}
 	rt := &Router{
 		cfg:     cfg,
@@ -188,7 +210,8 @@ func fnvHash(s string) uint64 {
 }
 
 // pick maps a routing key to a backend index: the first ring point at
-// or after the key's hash, wrapping at the top.
+// or after the key's hash, wrapping at the top. It ignores rotation
+// state; routed traffic goes through candidates/usable instead.
 func (rt *Router) pick(key string) int {
 	h := fnvHash(key)
 	i := sort.Search(len(rt.ring), func(i int) bool { return rt.ring[i].hash >= h })
@@ -196,6 +219,57 @@ func (rt *Router) pick(key string) int {
 		i = 0
 	}
 	return rt.ring[i].backend
+}
+
+// candidates returns the failover order for a routing key: the
+// distinct backends in ring order starting at the key's position. The
+// order is a pure function of the key, so when a backend is ejected
+// all of one catalog's traffic fails over to the SAME stand-in — the
+// cache-affinity property the ring buys survives ejection.
+func (rt *Router) candidates(key string) []int {
+	h := fnvHash(key)
+	i := sort.Search(len(rt.ring), func(i int) bool { return rt.ring[i].hash >= h })
+	out := make([]int, 0, len(rt.cfg.Backends))
+	seen := make(map[int]bool, len(rt.cfg.Backends))
+	for n := 0; n < len(rt.ring) && len(out) < len(rt.cfg.Backends); n++ {
+		p := rt.ring[(i+n)%len(rt.ring)]
+		if !seen[p.backend] {
+			seen[p.backend] = true
+			out = append(out, p.backend)
+		}
+	}
+	return out
+}
+
+// eject takes a backend out of the routing rotation after a connection
+// failure. Idempotent; the ejection is observed by every subsequent
+// routed request until a heal re-admits the backend.
+func (rt *Router) eject(backend int) {
+	if !rt.health[backend].ejected.Swap(true) {
+		obs.RouteEjections.Inc(rt.cfg.Backends[backend])
+	}
+}
+
+// usable reports whether a backend is in the routing rotation. For an
+// ejected backend it attempts one opportunistic heal per
+// ReprobeInterval: a /readyz probe plus a full catalog replay-log
+// resync (both must succeed — re-admitting a backend that misses
+// catalog state would serve checks against stale or absent entries).
+func (rt *Router) usable(ctx context.Context, backend int) bool {
+	h := &rt.health[backend]
+	if !h.ejected.Load() {
+		return true
+	}
+	now := time.Now().UnixNano()
+	last := h.lastReprobe.Load()
+	if now-last < int64(rt.cfg.ReprobeInterval) || !h.lastReprobe.CompareAndSwap(last, now) {
+		return false
+	}
+	if rt.probe(ctx, backend) && rt.syncBackend(ctx, backend) == 0 {
+		h.ejected.Store(false)
+		return true
+	}
+	return false
 }
 
 // routeKey extracts the consistent-hash key from a buffered request
@@ -241,35 +315,57 @@ func (rt *Router) forwardHandler(endpoint string) http.HandlerFunc {
 			writeError(w, id, http.StatusBadRequest, "bad request body: %v", err)
 			return
 		}
-		b := rt.pick(routeKey(body))
-		resp, err := rt.forward(r.Context(), b, r.URL.Path, r.Header.Get("Content-Type"), body)
-		if err != nil {
-			writeError(w, id, http.StatusBadGateway,
-				"backend %s: %v", rt.cfg.Backends[b], err)
+		// Walk the failover order: skip ejected backends (reprobing them
+		// when due), eject on connection failure and move on. The last
+		// failure is reported only when no backend could take the
+		// request.
+		var lastErr error
+		lastBackend := -1
+		tried := 0
+		for _, b := range rt.candidates(routeKey(body)) {
+			if !rt.usable(r.Context(), b) {
+				continue
+			}
+			tried++
+			if tried > 1 {
+				rt.health[b].retries.Add(1)
+				obs.RouteRetries.Inc(rt.cfg.Backends[b])
+			}
+			resp, err := rt.forward(r.Context(), b, r.URL.Path, r.Header.Get("Content-Type"), body)
+			if err != nil {
+				lastErr, lastBackend = err, b
+				continue
+			}
+			defer resp.Body.Close()
+			relay(w, resp)
 			return
 		}
-		defer resp.Body.Close()
-		relay(w, resp)
+		if lastErr != nil {
+			writeError(w, id, http.StatusBadGateway,
+				"backend %s: %v", rt.cfg.Backends[lastBackend], lastErr)
+			return
+		}
+		writeError(w, id, http.StatusBadGateway, "no backend in rotation")
 	}
 }
 
-// forward posts a buffered body to one backend, retrying once on
-// connection failure (the body is buffered, so the resend is safe; an
-// HTTP status from the backend — any status — means it is alive and is
-// relayed, not retried).
+// forward posts a buffered body to one specific backend. A connection
+// failure ejects the backend from the routing rotation (unless the
+// caller's context caused it) and is returned to the caller — routed
+// traffic fails over to the next ring candidate, broadcasts leave the
+// entry in the replay log for syncBackend. An HTTP status from the
+// backend — any status — means it is alive and is relayed as-is.
 func (rt *Router) forward(ctx context.Context, backend int, path, contentType string, body []byte) (*http.Response, error) {
 	name := rt.cfg.Backends[backend]
 	rt.health[backend].forwards.Add(1)
 	obs.RouteRequests.Inc(name)
 	resp, err := rt.post(ctx, name+path, contentType, body)
-	if err != nil && ctx.Err() == nil {
-		rt.health[backend].retries.Add(1)
-		obs.RouteRetries.Inc(name)
-		resp, err = rt.post(ctx, name+path, contentType, body)
-	}
 	if err != nil {
 		rt.health[backend].failures.Add(1)
 		obs.RouteFailures.Inc(name)
+		if ctx.Err() == nil {
+			rt.eject(backend)
+		}
 		return nil, err
 	}
 	return resp, nil
@@ -429,13 +525,20 @@ func (rt *Router) mutationHandler(w http.ResponseWriter, r *http.Request) {
 }
 
 // verdictsProxyHandler forwards a verdicts read (including its
-// long-poll parameters) to the catalog's ring-picked backend — the one
-// routed checks land on, so the poll observes the same copy.
+// long-poll parameters) to the catalog's first in-rotation ring
+// candidate — the backend routed checks land on, so the poll observes
+// the same copy even while the primary is ejected.
 func (rt *Router) verdictsProxyHandler(w http.ResponseWriter, r *http.Request) {
 	obs.ServeRequests.Inc("verdicts")
 	id := rt.nextRequestID()
 	w.Header().Set("X-Request-Id", id)
 	b := rt.pick(r.PathValue("name"))
+	for _, c := range rt.candidates(r.PathValue("name")) {
+		if rt.usable(r.Context(), c) {
+			b = c
+			break
+		}
+	}
 	url := rt.cfg.Backends[b] + r.URL.Path
 	if r.URL.RawQuery != "" {
 		url += "?" + r.URL.RawQuery
@@ -558,10 +661,15 @@ func (rt *Router) listCatalog(ctx context.Context, backend int) ([]CatalogInfo, 
 }
 
 // BackendStatus is one row of GET /v1/backends: a live readiness probe
-// plus the router's forward ledger for that backend.
+// plus the router's forward ledger and rotation state for that backend.
 type BackendStatus struct {
-	Backend  string `json:"backend"`
-	Ready    bool   `json:"ready"`
+	Backend string `json:"backend"`
+	Ready   bool   `json:"ready"`
+	// State is the routing-rotation state: "healthy" (receives routed
+	// traffic) or "ejected" (skipped until a probe + replay-log resync
+	// heal it). Retries counts failovers this backend received from
+	// ejected or failing peers.
+	State    string `json:"state"`
 	Forwards int64  `json:"forwards"`
 	Retries  int64  `json:"retries"`
 	Failures int64  `json:"failures"`
@@ -571,12 +679,14 @@ type BackendStatus struct {
 	Pending int `json:"pending"`
 }
 
-// backendsHandler reports per-backend health: a live /readyz probe and
-// the forward/retry/failure counters. A backend that probes ready and
-// misses catalog replay-log entries is caught up here — the health
-// sweep doubles as the re-broadcast trigger, so an operator (or the
-// relload watchdog) polling /v1/backends heals a rejoined backend
-// without extra machinery.
+// backendsHandler reports per-backend health: a live /readyz probe,
+// the forward/retry/failure counters and the rotation state. The sweep
+// is also the deliberate heal path: a backend that probes ready has
+// its missed catalog replay-log entries replayed and, once fully
+// caught up, is re-admitted to the routing rotation; a backend that
+// probes unready is ejected. An operator (or the relload watchdog)
+// polling /v1/backends therefore heals a rejoined backend without
+// extra machinery and without waiting for ReprobeInterval.
 func (rt *Router) backendsHandler(w http.ResponseWriter, r *http.Request) {
 	id := rt.nextRequestID()
 	w.Header().Set("X-Request-Id", id)
@@ -599,10 +709,18 @@ func (rt *Router) backendsHandler(w http.ResponseWriter, r *http.Request) {
 			out[i].Ready = rt.probe(r.Context(), i)
 			if out[i].Ready {
 				out[i].Pending = rt.syncBackend(r.Context(), i)
+				if out[i].Pending == 0 {
+					rt.health[i].ejected.Store(false)
+				}
 			} else {
+				rt.eject(i)
 				rt.catmu.Lock()
 				out[i].Pending = len(rt.catlog) - rt.applied[i]
 				rt.catmu.Unlock()
+			}
+			out[i].State = "healthy"
+			if rt.health[i].ejected.Load() {
+				out[i].State = "ejected"
 			}
 		}(i)
 	}

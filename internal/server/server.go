@@ -67,6 +67,10 @@ type Config struct {
 	RetryAfter time.Duration
 	// MaxBodyBytes bounds request bodies (default 16 MiB).
 	MaxBodyBytes int64
+	// MaxApproxCandidates is the operator ceiling on oracle calls one
+	// /v1/approximate or /v1/advise request may spend; request
+	// max_candidates values above it are clamped (default 256).
+	MaxApproxCandidates int
 }
 
 // Server is the relserve HTTP service. Create with New, expose with
@@ -112,6 +116,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 16 << 20
 	}
+	if cfg.MaxApproxCandidates <= 0 {
+		cfg.MaxApproxCandidates = 256
+	}
 	s := &Server{
 		cfg:      cfg,
 		workers:  cfg.Workers,
@@ -123,6 +130,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/rcdp", s.checkHandler("rcdp", s.runRCDP))
 	s.mux.HandleFunc("/v1/rcqp", s.checkHandler("rcqp", s.runRCQP))
 	s.mux.HandleFunc("/v1/bounded", s.checkHandler("bounded", s.runBounded))
+	s.mux.HandleFunc("/v1/approximate", handleAdmitted(s, "approximate", s.serveApproximate))
+	s.mux.HandleFunc("/v1/advise", handleAdmitted(s, "advise", s.serveAdvise))
 	s.mux.HandleFunc("/v1/batch", handleAdmitted(s, "batch", s.serveBatch))
 	s.mux.HandleFunc("/v1/partial", handleAdmitted(s, "partial", s.servePartial))
 	s.mux.HandleFunc("/v1/catalog", s.catalogHandler)

@@ -54,6 +54,16 @@ func FormatDatabase(d *relation.Database) string {
 	return b.String()
 }
 
+// FormatFact renders one fact line in ParseFacts' grammar (the
+// per-tuple unit FormatDatabase emits).
+func FormatFact(rel string, t relation.Tuple) string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = quoteIfNeeded(string(v))
+	}
+	return rel + "(" + strings.Join(parts, ", ") + ")."
+}
+
 // FormatQuery renders a parsed query back into ParseQuery's grammar:
 // CQs and UCQs as rule lines, datalog programs as an "output" header
 // plus rules. It errors for query forms the grammar has no syntax for

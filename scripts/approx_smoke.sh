@@ -1,0 +1,110 @@
+#!/bin/sh
+# End-to-end smoke test for the approximation engine over HTTP: start
+# relserve, register the Example 2.1 context as a maintained catalog
+# (watched Q2 is incomplete — the DB misses the support edge for the
+# area-973 customer), ask POST /v1/advise what to acquire against the
+# resident database, feed the returned all_facts block verbatim to
+# POST /v1/catalog/crm/insert, and assert the maintained verdict flips
+# to complete. Run via `make approx-smoke`.
+set -eu
+
+GO=${GO:-go}
+here=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+repo=$(dirname -- "$here")
+tmp=$(mktemp -d)
+pid=""
+
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "approx-smoke: building relserve"
+"$GO" build -o "$tmp/relserve" "$repo/cmd/relserve"
+
+"$tmp/relserve" -addr 127.0.0.1:0 -addr-file "$tmp/addr" >"$tmp/relserve.log" 2>&1 &
+pid=$!
+
+i=0
+while [ ! -s "$tmp/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "approx-smoke: relserve never wrote its address" >&2
+        cat "$tmp/relserve.log" >&2
+        exit 1
+    fi
+    kill -0 "$pid" 2>/dev/null || {
+        echo "approx-smoke: relserve exited early" >&2
+        cat "$tmp/relserve.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+addr=$(cat "$tmp/addr")
+echo "approx-smoke: relserve up on $addr"
+
+# Register the maintained catalog: resident DB plus watched queries.
+reg=$(curl -fsS -X POST --data-binary @"$here/mutate_catalog.json" "http://$addr/v1/catalog")
+echo "approx-smoke: registered: $reg"
+
+# Ask for acquisition advice against the resident database (no db
+# field). The engine must report the incomplete base verdict and a
+# certified flip.
+adv=$(curl -fsS -X POST -d '{
+  "catalog": "crm",
+  "query": "Q2(C) :- Supt(E, D, C), Cust(C, N, CC, A, P), CC = 01, A = 973"
+}' "http://$addr/v1/advise")
+echo "approx-smoke: advice: $adv"
+case $adv in
+*'"verdict": "incomplete"'*) ;;
+*)
+    echo "approx-smoke: advise did not report the incomplete base verdict: $adv" >&2
+    exit 1
+    ;;
+esac
+case $adv in
+*'"flipped": true'*) ;;
+*)
+    echo "approx-smoke: advise did not certify a flip: $adv" >&2
+    exit 1
+    ;;
+esac
+
+# Extract the all_facts JSON string verbatim (writeJSON indents with
+# two spaces and all_facts is a single line) and transplant it into a
+# mutation request, escapes and all.
+facts=$(printf '%s\n' "$adv" | sed -n 's/^  "all_facts": \(".*"\),\{0,1\}$/\1/p')
+if [ -z "$facts" ]; then
+    echo "approx-smoke: could not extract all_facts from: $adv" >&2
+    exit 1
+fi
+
+mut=$(curl -fsS -X POST -d "{\"facts\": $facts}" "http://$addr/v1/catalog/crm/insert")
+echo "approx-smoke: insert: $mut"
+
+# The maintained verdicts must have flipped to all-complete: the
+# advised acquisition closed the completeness gap in place.
+verdicts=$(curl -fsS "http://$addr/v1/catalog/crm/verdicts?after=1&wait_ms=5000")
+case $verdicts in
+*'"verdict": "incomplete"'*)
+    echo "approx-smoke: Q2 still incomplete after acquiring the advice: $verdicts" >&2
+    exit 1
+    ;;
+*'"verdict": "complete"'*) ;;
+*)
+    echo "approx-smoke: unexpected post-acquisition verdicts: $verdicts" >&2
+    exit 1
+    ;;
+esac
+
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+if [ "$rc" != 0 ]; then
+    echo "approx-smoke: graceful shutdown exited $rc, want 0" >&2
+    cat "$tmp/relserve.log" >&2
+    exit 1
+fi
+echo "approx-smoke: OK (advised acquisition flipped the verdict to complete)"
