@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-smoke bench-workers fmt-check vuln fuzz-smoke cover-check doc-sync examples-build server-smoke cluster-smoke mutate-smoke approx-smoke
+.PHONY: ci build vet test race bench bench-smoke bench-diff bench-workers fmt-check vuln fuzz-smoke cover-check doc-sync examples-build server-smoke cluster-smoke mutate-smoke approx-smoke mine-smoke
 
-ci: fmt-check vet build examples-build test race bench-smoke cover-check doc-sync fuzz-smoke vuln server-smoke cluster-smoke mutate-smoke approx-smoke
+ci: fmt-check vet build examples-build test race bench-smoke bench-diff cover-check doc-sync fuzz-smoke vuln server-smoke cluster-smoke mutate-smoke approx-smoke mine-smoke
 
 build:
 	$(GO) build ./...
@@ -22,9 +22,10 @@ test:
 # shared dictionary, its sort-order cache, and the lazy posting-list
 # builds), including the interned-vs-legacy cross-validation suites,
 # and the approximation engine (approx: oracle calls fan out through
-# the same worker pool).
+# the same worker pool) plus the constraint miner (mine: its oracle
+# re-validation runs the parallel checker across evidence pairs).
 race:
-	$(GO) test -race ./internal/core/... ./internal/server/... ./internal/cq/... ./internal/cc/... ./internal/relation/... ./internal/approx/...
+	$(GO) test -race ./internal/core/... ./internal/server/... ./internal/cq/... ./internal/cc/... ./internal/relation/... ./internal/approx/... ./internal/mine/...
 
 # End-to-end relserve smoke: random port, one Example 2.1 RCDP request
 # must come back "complete", /healthz must answer, SIGTERM must drain
@@ -54,6 +55,14 @@ mutate-smoke:
 approx-smoke:
 	sh scripts/approx_smoke.sh
 
+# Mining + degree smoke: relmine recovers planted constraints from
+# generated evidence with full precision, the same evidence document
+# mines over POST /v1/mine, and a degree-requesting /v1/rcdp call
+# returns an exact quantitative completeness score — CLI and HTTP legs
+# of the relmine pipeline end to end.
+mine-smoke:
+	sh scripts/mine_smoke.sh
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
@@ -68,6 +77,21 @@ bench-smoke:
 	/tmp/relbench-smoke -quick -json > /dev/null
 	/tmp/relbench-smoke -quick -json -nointern > /dev/null
 	rm -f /tmp/relbench-smoke
+
+# Bench-regression gate: three quick single-worker relbench runs are
+# median-merged and compared against the committed BENCH_BASELINE.json
+# by scripts/bench_diff.go. The comparison is scale-normalized (see the
+# script), so it passes on any machine speed but fails when one
+# benchmark regresses >25% relative to the rest of the suite. Refresh
+# the baseline after intentional performance changes with:
+#   go run ./scripts -baseline BENCH_BASELINE.json -write <runs...>
+bench-diff:
+	$(GO) build -o /tmp/relbench-diff ./cmd/relbench
+	/tmp/relbench-diff -quick -json -workers 1 > /tmp/relbench-d1.json
+	/tmp/relbench-diff -quick -json -workers 1 > /tmp/relbench-d2.json
+	/tmp/relbench-diff -quick -json -workers 1 > /tmp/relbench-d3.json
+	$(GO) run ./scripts -baseline BENCH_BASELINE.json /tmp/relbench-d1.json /tmp/relbench-d2.json /tmp/relbench-d3.json
+	rm -f /tmp/relbench-diff /tmp/relbench-d1.json /tmp/relbench-d2.json /tmp/relbench-d3.json
 
 # Sequential-vs-parallel series only (see EXPERIMENTS.md).
 bench-workers:
@@ -124,6 +148,7 @@ fuzz-smoke:
 	$(GO) test ./internal/textq/ -run='^$$' -fuzz=FuzzParseQuery -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/textq/ -run='^$$' -fuzz=FuzzParseConstraints -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/textq/ -run='^$$' -fuzz=FuzzMutationBatch -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/mine/ -run='^$$' -fuzz=FuzzMineEvidence -fuzztime=$(FUZZTIME)
 
 # Coverage floors for the decision-procedure packages (set ~2 points
 # under the measured coverage at the time the floor was introduced so
@@ -141,4 +166,5 @@ cover-check:
 	check ./internal/cq/ 84.5; \
 	check ./internal/cc/ 84.5; \
 	check ./internal/server/ 81; \
-	check ./internal/approx/ 83
+	check ./internal/approx/ 83; \
+	check ./internal/mine/ 80

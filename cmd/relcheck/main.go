@@ -9,7 +9,7 @@
 //	relcheck -schemas r.schema -master-schemas rm.schema \
 //	         -db d.facts -master dm.facts \
 //	         -constraints v.cc -query q.cq [-mode rcdp|rcqp|both]
-//	         [-approximate] [-advise]
+//	         [-degree] [-approximate] [-advise]
 //	         [-timeout D] [-steps N] [-metrics addr] [-trace file]
 //
 // All files use the textq format (see package repro/internal/textq).
@@ -58,6 +58,7 @@ func main() {
 		constraintsPp = flag.String("constraints", "", "containment constraints")
 		queryPath     = flag.String("query", "", "query (required)")
 		mode          = flag.String("mode", "rcdp", "rcdp, rcqp or both")
+		degree        = flag.Bool("degree", false, "also measure the quantitative degree of completeness (fraction of covered candidate valuations)")
 		approximate   = flag.Bool("approximate", false, "on an incomplete rcdp verdict, print certified-complete specializations and generalizations of the query")
 		advise        = flag.Bool("advise", false, "on an incomplete rcdp verdict, print ranked tuple acquisitions that make the database complete")
 		verbose       = flag.Bool("v", false, "print inputs before deciding")
@@ -93,13 +94,13 @@ func main() {
 		}()
 	}
 	budget := core.Budget{Timeout: *timeout, MaxJoinRows: *steps}
-	if err := run(*schemasPath, *mSchemasPath, *dbPath, *masterPath, *constraintsPp, *queryPath, *mode, *verbose, *approximate, *advise, budget); err != nil {
+	if err := run(*schemasPath, *mSchemasPath, *dbPath, *masterPath, *constraintsPp, *queryPath, *mode, *verbose, *approximate, *advise, *degree, budget); err != nil {
 		fmt.Fprintln(os.Stderr, "relcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(schemasPath, mSchemasPath, dbPath, masterPath, constraintsPath, queryPath, mode string, verbose, approximate, advise bool, budget core.Budget) error {
+func run(schemasPath, mSchemasPath, dbPath, masterPath, constraintsPath, queryPath, mode string, verbose, approximate, advise, degree bool, budget core.Budget) error {
 	if schemasPath == "" || queryPath == "" {
 		return fmt.Errorf("-schemas and -query are required")
 	}
@@ -144,6 +145,11 @@ func run(schemasPath, mSchemasPath, dbPath, masterPath, constraintsPath, queryPa
 		}
 		if err := reportRCDP(p.Q, p.D, p.Dm, p.V, budget); err != nil {
 			return err
+		}
+		if degree {
+			if err := reportDegree(p.Q, p.D, p.Dm, p.V, budget); err != nil {
+				return err
+			}
 		}
 		if approximate {
 			if err := reportApproximate(p.Q, p.D, p.Dm, p.V, budget); err != nil {
@@ -205,6 +211,29 @@ func reportRCDP(q qlang.Query, d, dm *relation.Database, vset *cc.Set, budget co
 	}
 	fmt.Printf("RCDP: INCOMPLETE — the following partially closed extension changes the answer:\n%s  new answer: %v\n",
 		indent(r.Extension.String()), r.NewTuple)
+	return nil
+}
+
+// reportDegree runs the counting enumeration of core.DegreeCtx and
+// prints the covered fraction: exact on exhaustive runs, a prefix-
+// sample estimate with its Wilson 95% interval under a budget.
+func reportDegree(q qlang.Query, d, dm *relation.Database, vset *cc.Set, budget core.Budget) error {
+	if !q.Lang().Monotone() || !vset.AllMonotone() {
+		return fmt.Errorf("-degree needs the monotone (decidable) fragment")
+	}
+	ck := core.Checker{Budget: budget}
+	res, err := ck.DegreeCtx(context.Background(), q, d, dm, vset)
+	if err != nil {
+		return err
+	}
+	if res.Exact {
+		fmt.Printf("DEGREE: %.4f exact (%d candidate valuations, %d counterexamples)\n",
+			res.Degree, res.Candidates, res.Counterexamples)
+		return nil
+	}
+	fmt.Printf("DEGREE: %.4f estimated in [%.4f, %.4f] (95%% CI; %d candidates sampled, %d counterexamples) — %s\n",
+		res.Degree, res.Lo, res.Hi, res.Candidates, res.Counterexamples,
+		governedStop(res.Reason, res.Stats))
 	return nil
 }
 

@@ -1,0 +1,273 @@
+// Command relmine discovers containment constraints from evidence: a
+// collection of (D, Dm) pairs, each a database observed against its
+// master data. It enumerates candidate constraints level-wise (plain
+// inclusion dependencies, wider projections, two-atom joins, then
+// Var = Const selection fragments of candidates that failed on the
+// evidence), scores each by support and confidence, and — in the
+// default complete oracle mode — emits only candidates certified by
+// the unmodified core checker: every evidence database must be
+// Complete for the candidate's own left-hand-side query relative to
+// (Dm, {candidate}).
+//
+// Evidence comes from a file in the package repro/internal/mine
+// evidence grammar (-evidence), or is generated on the fly by the
+// repro/internal/mdm CRM generator (-pairs and friends); generated
+// evidence can be dumped with -emit-evidence for later runs.
+// -ground-truth scores the mined output against the generator's
+// planted constraints (precision/recall, subsumption-aware).
+//
+// Usage:
+//
+//	relmine -evidence pairs.ev [-oracle complete|closure] [-json]
+//	relmine -pairs 6 -customers 12 -support-intl 3 -ground-truth
+//
+// Mining knobs: -min-support, -min-confidence, -max-selector-card,
+// -max-constants, -max-candidates; oracle knobs: -oracle, -workers,
+// -timeout, -max-valuations. -metrics serves the observability
+// endpoint (relcomp_mine_* counters) while mining runs.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/mdm"
+	"repro/internal/mine"
+	"repro/internal/obs"
+	"repro/internal/textq"
+)
+
+func main() {
+	var (
+		evidencePath = flag.String("evidence", "", "evidence document to mine (omit to generate with the mdm flags)")
+		emitEvidence = flag.String("emit-evidence", "", "write the evidence document to this file before mining")
+
+		pairs        = flag.Int("pairs", 6, "generated evidence pairs")
+		customers    = flag.Int("customers", 12, "generated domestic (master) customers per pair")
+		intl         = flag.Int("intl", 4, "generated international customers per pair")
+		employees    = flag.Int("employees", 5, "generated support employees per pair")
+		completeness = flag.Float64("completeness", 1.0, "fraction of master customers present in each generated database")
+		saturate     = flag.Bool("saturate", true, "guarantee every generated customer a support row (keeps planted constraints oracle-complete)")
+		supportIntl  = flag.Int("support-intl", 0, "generated supported international customers per pair (falsifies the blanket cid inclusion)")
+		unregistered = flag.Int("unregistered", 3, "generated unregistered domestic customers per pair (negative examples)")
+		seed         = flag.Int64("seed", 1, "generator seed of the first pair")
+
+		minSupport    = flag.Float64("min-support", 0, "minimum evidence support of a candidate (0 = default 0.5)")
+		minConfidence = flag.Float64("min-confidence", 0, "minimum evidence confidence of a candidate (0 = default 1.0)")
+		maxSelCard    = flag.Int("max-selector-card", 0, "max distinct values of a selection column (0 = default 8)")
+		maxConstants  = flag.Int("max-constants", 0, "max constants tried per selection column (0 = default 4)")
+		maxCandidates = flag.Int("max-candidates", 0, "cap on scored candidates (0 = default 256)")
+		oracle        = flag.String("oracle", "complete", "validation mode: complete (checker-certified) or closure (confidence only)")
+		workers       = flag.Int("workers", 0, "oracle checker parallelism (0 = sequential)")
+		timeout       = flag.Duration("timeout", 0, "wall-clock budget per oracle check (0 = default 1s)")
+		maxValuations = flag.Int("max-valuations", 0, "valuation budget per oracle disjunct (0 = default 100000)")
+
+		groundTruth = flag.Bool("ground-truth", false, "score mined output against the generator's planted constraints")
+		jsonOut     = flag.Bool("json", false, "print the result as JSON")
+		verbose     = flag.Bool("v", false, "print the evidence summary before mining")
+		metricsAddr = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
+	)
+	flag.Parse()
+	if *metricsAddr != "" {
+		addr, err := obs.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "relmine: -metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "relmine: metrics on http://%s/metrics\n", addr)
+	}
+	opt := mine.Options{
+		MinSupport:      *minSupport,
+		MinConfidence:   *minConfidence,
+		MaxSelectorCard: *maxSelCard,
+		MaxConstants:    *maxConstants,
+		MaxCandidates:   *maxCandidates,
+		Oracle:          mine.OracleMode(*oracle),
+		Workers:         *workers,
+		Budget:          core.Budget{Timeout: *timeout, MaxValuations: *maxValuations},
+	}
+	gen := genConfig{
+		pairs: *pairs, customers: *customers, intl: *intl, employees: *employees,
+		completeness: *completeness, saturate: *saturate, supportIntl: *supportIntl,
+		unregistered: *unregistered, seed: *seed,
+	}
+	if err := run(*evidencePath, *emitEvidence, gen, opt, *groundTruth, *jsonOut, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "relmine:", err)
+		os.Exit(1)
+	}
+}
+
+type genConfig struct {
+	pairs, customers, intl, employees int
+	supportIntl, unregistered         int
+	completeness                      float64
+	saturate                          bool
+	seed                              int64
+}
+
+// jsonResult is the -json output document.
+type jsonResult struct {
+	Constraints []jsonConstraint `json:"constraints"`
+	Stats       mine.Stats       `json:"stats"`
+	Evaluation  *jsonEvaluation  `json:"evaluation,omitempty"`
+}
+
+type jsonConstraint struct {
+	Name       string  `json:"name"`
+	Text       string  `json:"text"`
+	Signature  string  `json:"signature"`
+	Support    float64 `json:"support"`
+	Confidence float64 `json:"confidence"`
+	Validated  bool    `json:"validated"`
+}
+
+type jsonEvaluation struct {
+	Precision float64         `json:"precision"`
+	Recall    float64         `json:"recall"`
+	Matched   map[string]bool `json:"matched"`
+	Extra     []string        `json:"extra,omitempty"`
+}
+
+func run(evidencePath, emitEvidence string, gen genConfig, opt mine.Options, groundTruth, jsonOut, verbose bool) error {
+	var pairs []mine.Pair
+	if evidencePath != "" {
+		text, err := os.ReadFile(evidencePath)
+		if err != nil {
+			return err
+		}
+		pairs, err = mine.ParseEvidence(string(text))
+		if err != nil {
+			return err
+		}
+	} else {
+		cfg := mdm.DefaultConfig()
+		cfg.Seed = gen.seed
+		cfg.DomesticCustomers = gen.customers
+		cfg.InternationalCustomers = gen.intl
+		cfg.Employees = gen.employees
+		cfg.Completeness = gen.completeness
+		cfg.SaturateSupport = gen.saturate
+		cfg.SupportInternational = gen.supportIntl
+		cfg.UnregisteredDomestic = gen.unregistered
+		for _, s := range mdm.Evidence(cfg, gen.pairs) {
+			pairs = append(pairs, mine.Pair{D: s.D, Dm: s.Dm})
+		}
+	}
+	if emitEvidence != "" {
+		text, err := mine.FormatEvidence(pairs)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(emitEvidence, []byte(text), 0o644); err != nil {
+			return err
+		}
+	}
+	if verbose {
+		for i, p := range pairs {
+			dn, mn := 0, 0
+			for _, r := range p.D.Relations() {
+				dn += len(p.D.Instance(r).Tuples())
+			}
+			for _, r := range p.Dm.Relations() {
+				mn += len(p.Dm.Instance(r).Tuples())
+			}
+			fmt.Fprintf(os.Stderr, "pair %d: %d db tuples, %d master tuples\n", i, dn, mn)
+		}
+	}
+
+	res, err := mine.Mine(context.Background(), pairs, opt)
+	if err != nil {
+		return err
+	}
+
+	var ev *mine.Evaluation
+	if groundTruth {
+		e := mine.Evaluate(res.Mined, mdm.PlantedConstraints(), mine.SchemasOf(pairs))
+		ev = &e
+	}
+	if jsonOut {
+		return printJSON(res, ev)
+	}
+	printText(res, ev)
+	return nil
+}
+
+func printJSON(res *mine.Result, ev *mine.Evaluation) error {
+	out := jsonResult{Stats: res.Stats, Constraints: []jsonConstraint{}}
+	for _, m := range res.Mined {
+		out.Constraints = append(out.Constraints, jsonConstraint{
+			Name:       m.Constraint.Name,
+			Text:       constraintText(m.Constraint),
+			Signature:  m.Signature,
+			Support:    m.Support,
+			Confidence: m.Confidence,
+			Validated:  m.Validated,
+		})
+	}
+	if ev != nil {
+		out.Evaluation = &jsonEvaluation{
+			Precision: ev.Precision, Recall: ev.Recall,
+			Matched: ev.Matched, Extra: ev.Extra,
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func printText(res *mine.Result, ev *mine.Evaluation) {
+	fmt.Printf("MINE: %d pairs, %d candidates enumerated, %d survivors, %d subsumed, %d oracle-rejected, %d emitted",
+		res.Stats.Pairs, res.Stats.Enumerated, res.Stats.Survivors,
+		res.Stats.Subsumed, res.Stats.OracleRejected, res.Stats.Emitted)
+	if res.Stats.Truncated {
+		fmt.Printf(" (truncated)")
+	}
+	fmt.Println()
+	for _, m := range res.Mined {
+		fmt.Printf("  %s: support=%.2f confidence=%.2f validated=%v\n    %s\n",
+			m.Constraint.Name, m.Support, m.Confidence, m.Validated,
+			constraintText(m.Constraint))
+	}
+	if ev != nil {
+		fmt.Printf("GROUND TRUTH: precision=%.2f recall=%.2f\n", ev.Precision, ev.Recall)
+		names := make([]string, 0, len(ev.Matched))
+		for name := range ev.Matched {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			status := "missed"
+			if ev.Matched[name] {
+				status = "recovered"
+			}
+			fmt.Printf("  planted %s: %s\n", name, status)
+		}
+		for _, s := range ev.Extra {
+			fmt.Printf("  extra: %s\n", s)
+		}
+	}
+}
+
+// constraintText renders a constraint in the textq grammar, falling
+// back to its Go string form.
+func constraintText(c *cc.Constraint) string {
+	src, err := textq.FormatConstraints(cc.NewSet(c))
+	if err != nil {
+		return c.String()
+	}
+	// FormatConstraints emits one "cc name: …" line per constraint.
+	return trimNewline(src)
+}
+
+func trimNewline(s string) string {
+	for len(s) > 0 && (s[len(s)-1] == '\n' || s[len(s)-1] == '\r') {
+		s = s[:len(s)-1]
+	}
+	return s
+}

@@ -11,6 +11,7 @@
 //	POST /v1/approximate  complete specializations/generalizations of Q
 //	POST /v1/advise   ranked tuples whose acquisition makes D complete
 //	POST /v1/batch    many queries against one context, streamed as JSONL
+//	POST /v1/mine     propose + validate containment constraints from evidence
 //	POST /v1/partial  one partition slice of an RCDP check (fan-out leg)
 //	POST /v1/catalog  register a named (Dm, V) master-data context
 //	GET  /v1/catalog  list registered contexts
@@ -79,6 +80,8 @@ func run() error {
 		maxSteps      = flag.Int64("max-steps", 0, "ceiling on per-request join-row budgets (0 = unlimited)")
 		maxTuples     = flag.Int64("max-tuples", 0, "ceiling on per-request tuple budgets (0 = unlimited)")
 		maxApproxCand = flag.Int("max-approx-candidates", 0, "ceiling on oracle calls per /v1/approximate or /v1/advise request (0 = 256)")
+		maxMineCand   = flag.Int("max-mine-candidates", 0, "ceiling on candidate constraints per /v1/mine request (0 = 256)")
+		maxDegreeVals = flag.Int("max-degree-valuations", 0, "ceiling on per-disjunct valuations of degree-requesting checks (0 = 100000)")
 		reprobe       = flag.Duration("reprobe", 0, "with -route: how often an ejected backend is probed for re-admission (0 = 5s)")
 		retryAfter    = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight checks")
@@ -156,6 +159,8 @@ func run() error {
 		},
 		RetryAfter:          *retryAfter,
 		MaxApproxCandidates: *maxApproxCand,
+		MaxMineCandidates:   *maxMineCand,
+		MaxDegreeValuations: *maxDegreeVals,
 	})
 	for _, spec := range catalogs {
 		name, dir, ok := strings.Cut(spec, "=")

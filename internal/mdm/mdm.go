@@ -75,6 +75,27 @@ type Config struct {
 	Completeness float64
 	// ManageDepth is the height of the management chain in ManageM.
 	ManageDepth int
+	// SaturateSupport guarantees every present customer at least one
+	// Supt row. On saturated scenarios the planted constraints'
+	// left-hand-side queries are complete for (D, Dm, planted V) — the
+	// property the mining oracle and the degree=1.0 ⇔ Complete law
+	// exercise — whereas unsaturated scenarios leave unsupported master
+	// customers as legal extensions.
+	SaturateSupport bool
+	// SupportInternational adds that many international customers WITH
+	// support rows. Example 1.1's φ₀ bounds only supported *domestic*
+	// customers by master data, so these rows make the blanket
+	// inclusion π_cid(Supt) ⊆ π_cid(DCust) genuinely false while φ₀
+	// stays true — the evidence regime in which mining must recover the
+	// join+selection shape rather than the stronger plain IND.
+	SupportInternational int
+	// UnregisteredDomestic adds cc='01' customers that are neither in
+	// master data nor supported. φ₀ still holds (they are unsupported),
+	// but any mined constraint bounding *all* domestic customers by
+	// DCust is false on such evidence — these rows are the negative
+	// examples that keep spurious Cust-only fragments out of mining
+	// output.
+	UnregisteredDomestic int
 }
 
 // DefaultConfig returns a small, fully complete scenario.
@@ -155,6 +176,20 @@ func Generate(cfg Config) *Scenario {
 			}
 		}
 	}
+	if cfg.SaturateSupport && len(present) > 0 && cfg.Employees > 0 {
+		supported := make(map[string]bool)
+		for _, t := range d.Instance(Supt).Tuples() {
+			supported[string(t[2])] = true
+		}
+		next := 0
+		for _, c := range present {
+			if supported[c] {
+				continue
+			}
+			d.MustAdd(Supt, eid(next%cfg.Employees), "sales", c)
+			next++
+		}
+	}
 	// Management chain: e0 reports to e1 reports to … in ManageM; the
 	// database Manage starts with the direct edges only (so transitive
 	// queries are incomplete until closed).
@@ -162,7 +197,52 @@ func Generate(cfg Config) *Scenario {
 		dm.MustAdd(ManageM, eid(lvl+1), eid(lvl))
 		d.MustAdd(Manage, eid(lvl+1), eid(lvl))
 	}
+	// The two mining-evidence knobs draw from rng strictly after every
+	// existing draw, so default (zero) configs generate byte-identical
+	// scenarios to earlier revisions.
+	if cfg.SupportInternational > 0 && cfg.Employees > 0 {
+		for i := 0; i < cfg.SupportInternational; i++ {
+			sid := fmt.Sprintf("s%03d", i)
+			d.MustAdd(Cust, sid, fmt.Sprintf("sname%d", i),
+				fmt.Sprintf("%02d", 2+rng.Intn(80)),
+				areaCodes[rng.Intn(len(areaCodes))], fmt.Sprintf("666%04d", i))
+			d.MustAdd(Supt, eid(rng.Intn(cfg.Employees)), "sales", sid)
+		}
+	}
+	if cfg.UnregisteredDomestic > 0 {
+		// Area codes mix the master pool with an out-of-pool value so
+		// that neither σ_ac=const nor σ_cc='01' Cust fragments survive
+		// confidence scoring across evidence pairs.
+		pool := append(append([]string(nil), areaCodes...), "999")
+		for i := 0; i < cfg.UnregisteredDomestic; i++ {
+			d.MustAdd(Cust, fmt.Sprintf("u%03d", i), fmt.Sprintf("uname%d", i),
+				"01", pool[rng.Intn(len(pool))], fmt.Sprintf("888%04d", i))
+		}
+	}
 	return &Scenario{Config: cfg, D: d, Dm: dm, Schemas: ss}
+}
+
+// Evidence returns n independently seeded scenarios drawn from cfg —
+// the (D, Dm) observation pairs that constraint mining consumes. Every
+// pair satisfies the planted constraints by construction, with
+// per-pair variation in which customers, support assignments and area
+// codes appear.
+func Evidence(cfg Config, n int) []*Scenario {
+	out := make([]*Scenario, 0, n)
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		out = append(out, Generate(c))
+	}
+	return out
+}
+
+// PlantedConstraints is the ground truth for mining evaluation: the
+// containment constraints every generated scenario satisfies by
+// construction. Phi0Cid is the join+selection shape, ManageIND the
+// two-column inclusion, CidIND the single-column inclusion.
+func PlantedConstraints() []*cc.Constraint {
+	return []*cc.Constraint{Phi0Cid(), ManageIND(), CidIND()}
 }
 
 // Phi0 is the CC φ₀ of Example 2.1: supported domestic customers are

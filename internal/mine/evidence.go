@@ -1,0 +1,138 @@
+package mine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/internal/textq"
+)
+
+// The evidence text format. Mining evidence travels as one plain-text
+// document — between relmine runs, into POST /v1/mine, and as fuzz
+// corpus — holding the shared schemas followed by any number of
+// (D, Dm) pairs. Section headers are lines starting with "==";
+// everything between headers is textq grammar (rel declarations or
+// fact lines):
+//
+//	== schemas
+//	rel Cust(cid, name, cc, ac, phn)
+//	== master-schemas
+//	rel DCust(cid, name, ac, phn)
+//	== pair
+//	== db
+//	Cust(c000, name0, 01, 908, 5550000).
+//	== dm
+//	DCust(c000, name0, 908, 5550000).
+//	== pair
+//	…
+//
+// Blank lines and lines starting with '#' are ignored. Every pair
+// opens with "== pair" and fills its "== db" and "== dm" blocks; an
+// omitted block is an empty database over the declared schemas.
+
+// ParseEvidence parses an evidence document into pairs ready for Mine.
+func ParseEvidence(src string) ([]Pair, error) {
+	type rawPair struct{ db, dm strings.Builder }
+	var (
+		schemaSrc, mschemaSrc strings.Builder
+		raws                  []*rawPair
+		section               string
+	)
+	for ln, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "==") {
+			section = strings.TrimSpace(strings.TrimPrefix(trimmed, "=="))
+			switch section {
+			case "schemas", "master-schemas":
+			case "pair":
+				raws = append(raws, &rawPair{})
+			case "db", "dm":
+				if len(raws) == 0 {
+					return nil, fmt.Errorf("mine: evidence line %d: %q section before any '== pair'", ln+1, section)
+				}
+			default:
+				return nil, fmt.Errorf("mine: evidence line %d: unknown section %q", ln+1, section)
+			}
+			continue
+		}
+		switch section {
+		case "schemas":
+			schemaSrc.WriteString(line + "\n")
+		case "master-schemas":
+			mschemaSrc.WriteString(line + "\n")
+		case "db":
+			raws[len(raws)-1].db.WriteString(line + "\n")
+		case "dm":
+			raws[len(raws)-1].dm.WriteString(line + "\n")
+		case "pair":
+			return nil, fmt.Errorf("mine: evidence line %d: facts outside a db/dm block", ln+1)
+		default:
+			return nil, fmt.Errorf("mine: evidence line %d: content before any section header", ln+1)
+		}
+	}
+	if schemaSrc.Len() == 0 {
+		return nil, fmt.Errorf("mine: evidence has no '== schemas' section")
+	}
+	schemas, err := textq.ParseSchemas(schemaSrc.String())
+	if err != nil {
+		return nil, fmt.Errorf("mine: evidence schemas: %w", err)
+	}
+	mschemas := map[string]*relation.Schema{}
+	if mschemaSrc.Len() > 0 {
+		mschemas, err = textq.ParseSchemas(mschemaSrc.String())
+		if err != nil {
+			return nil, fmt.Errorf("mine: evidence master schemas: %w", err)
+		}
+	}
+	if len(raws) == 0 {
+		return nil, fmt.Errorf("mine: evidence has no pairs")
+	}
+	pairs := make([]Pair, 0, len(raws))
+	for i, r := range raws {
+		d, err := textq.ParseFacts(r.db.String(), schemas)
+		if err != nil {
+			return nil, fmt.Errorf("mine: evidence pair %d db: %w", i, err)
+		}
+		dm, err := textq.ParseFacts(r.dm.String(), mschemas)
+		if err != nil {
+			return nil, fmt.Errorf("mine: evidence pair %d dm: %w", i, err)
+		}
+		pairs = append(pairs, Pair{D: d, Dm: dm})
+	}
+	return pairs, nil
+}
+
+// FormatEvidence renders pairs in the evidence grammar. All pairs must
+// share the first pair's schemas (the format declares them once).
+func FormatEvidence(pairs []Pair) (string, error) {
+	if len(pairs) == 0 {
+		return "", fmt.Errorf("mine: no pairs to format")
+	}
+	var b strings.Builder
+	b.WriteString("== schemas\n")
+	b.WriteString(textq.FormatSchemas(schemasOfDB(pairs[0].D)))
+	b.WriteString("== master-schemas\n")
+	b.WriteString(textq.FormatSchemas(schemasOfDB(pairs[0].Dm)))
+	for _, p := range pairs {
+		b.WriteString("== pair\n== db\n")
+		b.WriteString(textq.FormatDatabase(p.D))
+		b.WriteString("== dm\n")
+		b.WriteString(textq.FormatDatabase(p.Dm))
+	}
+	return b.String(), nil
+}
+
+func schemasOfDB(d *relation.Database) map[string]*relation.Schema {
+	out := make(map[string]*relation.Schema)
+	if d == nil {
+		return out
+	}
+	for _, r := range d.Relations() {
+		out[r] = d.Schema(r)
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package mine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mdm"
+)
+
+// FuzzMineEvidence feeds arbitrary documents to the evidence parser
+// and, whenever one parses, mines it in closure mode under a tiny
+// budget: neither step may panic, and every emitted score must stay in
+// [0, 1]. This is the fuzz-smoke guard for the POST /v1/mine and
+// relmine -evidence surfaces, which accept evidence text from outside
+// the process.
+func FuzzMineEvidence(f *testing.F) {
+	cfg := mdm.DefaultConfig()
+	cfg.DomesticCustomers = 3
+	cfg.InternationalCustomers = 1
+	cfg.Employees = 2
+	cfg.ManageDepth = 2
+	if text, err := FormatEvidence([]Pair{{D: mdm.Generate(cfg).D, Dm: mdm.Generate(cfg).Dm}}); err == nil {
+		f.Add(text)
+	}
+	f.Add("== schemas\nrel R(a, b)\n== master-schemas\nrel M(a)\n" +
+		"== pair\n== db\nR(1, 2).\nR(1, 3).\n== dm\nM(1).\n" +
+		"== pair\n== db\nR(2, 2).\n== dm\nM(2).\n")
+	f.Add("")
+	f.Add("== schemas\nrel R(a)\n")
+	f.Add("== schemas\nrel R(a)\n== wat\n")
+	f.Add("R(1).\n")
+	f.Add("== schemas\nrel R(a)\n== db\n")
+	f.Add("== schemas\nnot a schema\n== pair\n")
+	f.Add("== schemas\nrel R(a)\n== pair\n== db\nQ(1).\n")
+	f.Add("== schemas\nrel R(a)\n== master-schemas\nrel R(a)\n== pair\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		pairs, err := ParseEvidence(src)
+		if err != nil {
+			return
+		}
+		// Bound the mining work so the fuzzer spends its time on parser
+		// and scorer states, not on one giant generated instance.
+		if len(pairs) > 4 {
+			pairs = pairs[:4]
+		}
+		tuples := 0
+		for _, p := range pairs {
+			for _, r := range p.D.Relations() {
+				tuples += len(p.D.Instance(r).Tuples())
+			}
+			for _, r := range p.Dm.Relations() {
+				tuples += len(p.Dm.Instance(r).Tuples())
+			}
+		}
+		if tuples > 200 {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		res, err := Mine(ctx, pairs, Options{
+			MaxCandidates: 48,
+			Oracle:        OracleClosure,
+			Budget:        core.Budget{Timeout: 100 * time.Millisecond, MaxValuations: 1000},
+		})
+		if err != nil {
+			return
+		}
+		for _, m := range res.Mined {
+			if m.Support < 0 || m.Support > 1 {
+				t.Fatalf("support out of range: %v (%s)", m.Support, m.Signature)
+			}
+			if m.Confidence < 0 || m.Confidence > 1 {
+				t.Fatalf("confidence out of range: %v (%s)", m.Confidence, m.Signature)
+			}
+		}
+		if res.Stats.Enumerated > 48 {
+			t.Fatalf("enumerated %d candidates over budget", res.Stats.Enumerated)
+		}
+	})
+}

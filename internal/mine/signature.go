@@ -1,0 +1,275 @@
+package mine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cc"
+	"repro/internal/cq"
+	"repro/internal/qlang"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Canonical shape signatures. Two constraints that differ only in
+// variable names, atom order or condition order get the same
+// signature, so mined output can be matched against a planted ground
+// truth structurally. Canonicalization sorts atoms by a name-free
+// shape key (relation, head positions, occurrence counts, selection
+// constants per argument), then renames variables in traversal order.
+
+// canonSig renders the canonical signature of q(D) ⊆ p(Dm).
+func canonSig(q *cq.CQ, p cc.Projection) string {
+	headPos := make(map[string][]int)
+	for i, t := range q.Head {
+		if t.IsVar {
+			headPos[t.Name] = append(headPos[t.Name], i)
+		}
+	}
+	occ := make(map[string]int)
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			if t.IsVar {
+				occ[t.Name]++
+			}
+		}
+	}
+	selConst := make(map[string][]string)
+	var varEqs []string
+	for _, c := range q.Conds {
+		l, r := c.L, c.R
+		if r.IsVar && !l.IsVar {
+			l, r = r, l
+		}
+		op := "="
+		if c.Neg {
+			op = "!="
+		}
+		switch {
+		case l.IsVar && !r.IsVar:
+			selConst[l.Name] = append(selConst[l.Name], op+string(r.Val))
+		case !l.IsVar && !r.IsVar:
+			varEqs = append(varEqs, string(l.Val)+op+string(r.Val))
+		default:
+			// Var-var conditions are rendered after renaming.
+		}
+	}
+	for _, ss := range selConst {
+		sort.Strings(ss)
+	}
+
+	argClass := func(t query.Term) string {
+		if !t.IsVar {
+			return "c:" + string(t.Val)
+		}
+		return fmt.Sprintf("h%v/o%d/s%v", headPos[t.Name], occ[t.Name], selConst[t.Name])
+	}
+	type satom struct {
+		key  string
+		atom query.RelAtom
+	}
+	satoms := make([]satom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		parts := make([]string, len(a.Args))
+		for j, t := range a.Args {
+			parts[j] = argClass(t)
+		}
+		satoms[i] = satom{key: a.Rel + "(" + strings.Join(parts, ",") + ")", atom: a}
+	}
+	sort.SliceStable(satoms, func(i, j int) bool { return satoms[i].key < satoms[j].key })
+
+	names := make(map[string]string)
+	canon := func(t query.Term) string {
+		if !t.IsVar {
+			return "'" + string(t.Val) + "'"
+		}
+		n, ok := names[t.Name]
+		if !ok {
+			n = fmt.Sprintf("v%d", len(names))
+			names[t.Name] = n
+		}
+		return n
+	}
+	var b strings.Builder
+	var atomStrs []string
+	for _, sa := range satoms {
+		parts := make([]string, len(sa.atom.Args))
+		for j, t := range sa.atom.Args {
+			parts[j] = canon(t)
+		}
+		atomStrs = append(atomStrs, sa.atom.Rel+"("+strings.Join(parts, ",")+")")
+	}
+	var condStrs []string
+	for v, cs := range selConst {
+		for _, c := range cs {
+			condStrs = append(condStrs, names[v]+c)
+		}
+	}
+	for _, c := range q.Conds {
+		if c.L.IsVar && c.R.IsVar {
+			op := "="
+			if c.Neg {
+				op = "!="
+			}
+			lr := []string{names[c.L.Name], names[c.R.Name]}
+			sort.Strings(lr)
+			condStrs = append(condStrs, lr[0]+op+lr[1])
+		}
+	}
+	condStrs = append(condStrs, varEqs...)
+	sort.Strings(condStrs)
+	headStrs := make([]string, len(q.Head))
+	for i, t := range q.Head {
+		headStrs[i] = canon(t)
+	}
+	fmt.Fprintf(&b, "(%s):-%s", strings.Join(headStrs, ","), strings.Join(atomStrs, ","))
+	if len(condStrs) > 0 {
+		fmt.Fprintf(&b, ",%s", strings.Join(condStrs, ","))
+	}
+	cols := make([]string, len(p.Cols))
+	for i, c := range p.Cols {
+		cols[i] = fmt.Sprintf("%d", c)
+	}
+	fmt.Fprintf(&b, "<=%s[%s]", p.Rel, strings.Join(cols, ","))
+	return b.String()
+}
+
+// Signature returns the canonical shape signature of a constraint, or
+// false when its left-hand side is not a single CQ.
+func Signature(c *cc.Constraint) (string, bool) {
+	q, ok := qlang.AsCQ(c.Q)
+	if !ok {
+		return "", false
+	}
+	return canonSig(q, c.P), true
+}
+
+// Evaluation compares mined output against a reference constraint set.
+type Evaluation struct {
+	Precision float64
+	Recall    float64
+	// Matched maps each reference constraint name to whether some
+	// emitted constraint recovers it (equal signature, or implication
+	// via projection closure + containment).
+	Matched map[string]bool
+	// Extra lists signatures of emitted constraints not entailed by
+	// any reference constraint.
+	Extra []string
+}
+
+// Evaluate scores mined constraints against a reference ("planted")
+// set. An emitted constraint counts toward precision when some
+// reference constraint entails it or matches it exactly; a reference
+// constraint counts as recalled when some emitted constraint entails
+// it. Entailment is checked on the implied projection closure with
+// cq.Specializes, so e.g. a mined two-column inclusion recovers its
+// planted single-column projections.
+func Evaluate(mined []Mined, refs []*cc.Constraint, schemas map[string]*relation.Schema) Evaluation {
+	ev := Evaluation{Matched: make(map[string]bool)}
+	type shape struct {
+		q    *cq.CQ
+		proj cc.Projection
+		sig  string
+		name string
+	}
+	var refShapes []shape
+	for _, r := range refs {
+		q, ok := qlang.AsCQ(r.Q)
+		if !ok {
+			continue
+		}
+		refShapes = append(refShapes, shape{q: q, proj: r.P, sig: canonSig(q, r.P), name: r.Name})
+	}
+	minedShapes := make([]shape, 0, len(mined))
+	for _, m := range mined {
+		q, _ := qlang.AsCQ(m.Constraint.Q)
+		minedShapes = append(minedShapes, shape{q: q, proj: m.Constraint.P, sig: m.Signature})
+	}
+
+	entails := func(a, b shape) bool { // a ⇒ b
+		if a.sig == b.sig {
+			return true
+		}
+		for _, imp := range impliedShapes(a.q, a.proj) {
+			if !sameProj(imp.proj, b.proj) {
+				continue
+			}
+			ok, err := cq.Specializes(b.q, imp.q, schemas)
+			if err == nil && ok {
+				return true
+			}
+		}
+		return false
+	}
+
+	tp := 0
+	for _, m := range minedShapes {
+		correct := false
+		for _, r := range refShapes {
+			if entails(r, m) {
+				correct = true
+				break
+			}
+		}
+		if correct {
+			tp++
+		} else {
+			ev.Extra = append(ev.Extra, m.sig)
+		}
+	}
+	if len(minedShapes) > 0 {
+		ev.Precision = float64(tp) / float64(len(minedShapes))
+	}
+	recalled := 0
+	for _, r := range refShapes {
+		got := false
+		for _, m := range minedShapes {
+			if entails(m, r) {
+				got = true
+				break
+			}
+		}
+		ev.Matched[r.name] = got
+		if got {
+			recalled++
+		}
+	}
+	if len(refShapes) > 0 {
+		ev.Recall = float64(recalled) / float64(len(refShapes))
+	}
+	return ev
+}
+
+// impliedShapes is the projection closure of a constraint: itself plus
+// each single-column projection of head and right-hand side.
+func impliedShapes(q *cq.CQ, p cc.Projection) []impliedC {
+	out := []impliedC{{q: q, proj: p}}
+	if len(p.Cols) > 1 && len(q.Head) == len(p.Cols) {
+		for k := range p.Cols {
+			sub := q.Clone()
+			sub.Head = []query.Term{q.Head[k]}
+			out = append(out, impliedC{q: sub, proj: cc.Proj(p.Rel, p.Cols[k])})
+		}
+	}
+	return out
+}
+
+// SchemasOf collects the union schema vocabulary of an evidence pair
+// list, for Evaluate and constraint validation.
+func SchemasOf(pairs []Pair) map[string]*relation.Schema {
+	out := make(map[string]*relation.Schema)
+	for _, p := range pairs {
+		for _, db := range []*relation.Database{p.D, p.Dm} {
+			if db == nil {
+				continue
+			}
+			for _, r := range db.Relations() {
+				if _, ok := out[r]; !ok {
+					out[r] = db.Schema(r)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -170,6 +170,45 @@ var (
 		"approximation engine call latency", DefBuckets)
 )
 
+// The constraint-mining metric set (package internal/mine): level-wise
+// candidate enumeration over evidence pairs with oracle validation.
+var (
+	// MineRuns counts Mine invocations.
+	MineRuns = NewCounter("relcomp_mine_runs_total",
+		"constraint-mining runs")
+	// MineCandidates counts scored candidate constraints across runs.
+	MineCandidates = NewCounter("relcomp_mine_candidates_total",
+		"constraint candidates enumerated and scored")
+	// MineEmitted counts constraints that survived scoring, subsumption
+	// and the completeness oracle.
+	MineEmitted = NewCounter("relcomp_mine_emitted_total",
+		"mined constraints emitted")
+	// MineOracleRejections counts confidence survivors the completeness
+	// oracle refuted.
+	MineOracleRejections = NewCounter("relcomp_mine_oracle_rejections_total",
+		"mined candidates rejected by the completeness oracle")
+	// MineSeconds is the wall-clock latency histogram of Mine runs.
+	MineSeconds = NewHistogram("relcomp_mine_seconds",
+		"constraint-mining run latency", DefBuckets)
+)
+
+// The quantitative-completeness metric set (core.DegreeCtx): counting
+// candidate valuations to score verdicts as degrees in [0, 1].
+var (
+	// DegreeChecks counts degree measurements by exactness (exact,
+	// sampled).
+	DegreeChecks = NewCounterVec("relcomp_degree_checks_total",
+		"degree-of-completeness measurements", "mode")
+	// DegreeCandidates counts candidate valuations inspected by degree
+	// measurements.
+	DegreeCandidates = NewCounter("relcomp_degree_candidates_total",
+		"candidate valuations inspected by degree measurements")
+	// DegreeCounterexamples counts counterexample valuations seen by
+	// degree measurements.
+	DegreeCounterexamples = NewCounter("relcomp_degree_counterexamples_total",
+		"counterexample valuations seen by degree measurements")
+)
+
 // The serving-layer metric set (package internal/server / cmd/relserve).
 // Declared here with the engine metrics so every relcomp exposition
 // name lives in one place.

@@ -35,6 +35,12 @@ type BatchRequest struct {
 	// Bounded-search knobs (endpoint "bounded" only).
 	MaxAdd      int `json:"max_add,omitempty"`
 	FreshValues int `json:"fresh_values,omitempty"`
+
+	// Degree knobs (endpoint "rcdp" only): every item's response then
+	// carries the quantitative completeness score, governed like the
+	// single-check degree_valuations.
+	Degree           bool `json:"degree,omitempty"`
+	DegreeValuations int  `json:"degree_valuations,omitempty"`
 }
 
 // BatchLine is one line of the JSONL response stream: the item's index
@@ -155,6 +161,7 @@ func (s *Server) serveBatch(ctx context.Context, id string, req *BatchRequest, w
 	creq := &CheckRequest{
 		Catalog: req.Catalog, DB: req.DB,
 		MaxAdd: req.MaxAdd, FreshValues: req.FreshValues,
+		Degree: req.Degree, DegreeValuations: req.DegreeValuations,
 	}
 	for i, src := range req.Queries {
 		line := BatchLine{Index: i}

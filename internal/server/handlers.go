@@ -47,6 +47,14 @@ type CheckRequest struct {
 	// defaults).
 	MaxAdd      int `json:"max_add,omitempty"`
 	FreshValues int `json:"fresh_values,omitempty"`
+
+	// Degree asks /v1/rcdp to also measure the quantitative degree of
+	// completeness (core.DegreeCtx): the response then carries a
+	// "degree" object. DegreeValuations bounds the candidate valuations
+	// inspected per disjunct; zero and over-ceiling values are clamped
+	// to the operator's -max-degree-valuations.
+	Degree           bool `json:"degree,omitempty"`
+	DegreeValuations int  `json:"degree_valuations,omitempty"`
 }
 
 // StatsJSON mirrors core.BudgetStats for responses.
@@ -87,6 +95,27 @@ type CheckResponse struct {
 
 	Explored int `json:"explored,omitempty"`
 	MaxAdd   int `json:"max_add,omitempty"`
+
+	// Degree is present when the request asked for the quantitative
+	// completeness score.
+	Degree *DegreeJSON `json:"degree,omitempty"`
+}
+
+// DegreeJSON is the quantitative completeness score of a /v1/rcdp
+// response: the covered fraction of candidate valuations with its
+// Wilson 95% interval. Exact reports an exhaustive enumeration (the
+// value is then the true fraction and value 1.0 iff the verdict is
+// complete); otherwise the run was a budget-governed prefix sample and
+// Reason names the stopping dimension.
+type DegreeJSON struct {
+	Value           float64 `json:"value"`
+	Lo              float64 `json:"lo"`
+	Hi              float64 `json:"hi"`
+	Exact           bool    `json:"exact"`
+	Verdict         string  `json:"verdict"`
+	Candidates      int     `json:"candidates"`
+	Counterexamples int     `json:"counterexamples"`
+	Reason          string  `json:"reason,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.
@@ -376,6 +405,45 @@ func (s *Server) runRCDP(ctx context.Context, in *checkInput) (*CheckResponse, e
 	if res.Verdict == core.VerdictIncomplete {
 		out.Extension = textq.FormatDatabase(res.Extension)
 		out.NewTuple = tupleJSON(res.NewTuple)
+	}
+	if in.req != nil && in.req.Degree {
+		dg, err := s.runDegree(ctx, in)
+		if err != nil {
+			return nil, err
+		}
+		out.Degree = dg
+	}
+	return out, nil
+}
+
+// runDegree measures the quantitative completeness score for a
+// degree-requesting /v1/rcdp call. The degree enumeration reuses the
+// request's effective budget except for its valuation dimension, which
+// is governed separately: the request's degree_valuations clamped to
+// the operator's MaxDegreeValuations ceiling.
+func (s *Server) runDegree(ctx context.Context, in *checkInput) (*DegreeJSON, error) {
+	budget := in.budget
+	dv := in.req.DegreeValuations
+	if dv <= 0 || dv > s.cfg.MaxDegreeValuations {
+		dv = s.cfg.MaxDegreeValuations
+	}
+	budget.MaxValuations = dv
+	ck := core.Checker{Workers: s.cfg.CheckWorkers, Budget: budget}
+	res, err := ck.DegreeCtx(ctx, in.q, in.d, in.dm, in.v)
+	if err != nil {
+		return nil, err
+	}
+	out := &DegreeJSON{
+		Value:           res.Degree,
+		Lo:              res.Lo,
+		Hi:              res.Hi,
+		Exact:           res.Exact,
+		Verdict:         res.Verdict.String(),
+		Candidates:      res.Candidates,
+		Counterexamples: res.Counterexamples,
+	}
+	if res.Reason != core.ReasonNone {
+		out.Reason = res.Reason.String()
 	}
 	return out, nil
 }

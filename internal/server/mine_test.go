@@ -1,0 +1,243 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/mdm"
+	"repro/internal/mine"
+)
+
+// crmEvidence renders n generated CRM evidence pairs as an evidence
+// document for the /v1/mine inline path.
+func crmEvidence(t *testing.T, n int, supportIntl int) string {
+	t.Helper()
+	cfg := mdm.DefaultConfig()
+	cfg.DomesticCustomers = 8
+	cfg.InternationalCustomers = 3
+	cfg.SaturateSupport = true
+	cfg.UnregisteredDomestic = 2
+	cfg.SupportInternational = supportIntl
+	scens := mdm.Evidence(cfg, n)
+	pairs := make([]mine.Pair, len(scens))
+	for i, s := range scens {
+		pairs[i] = mine.Pair{D: s.D, Dm: s.Dm}
+	}
+	text, err := mine.FormatEvidence(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return text
+}
+
+func TestMineEndpointInlineEvidence(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var resp MineResponse
+	req := MineRequest{Evidence: crmEvidence(t, 4, 0)}
+	if code := post(t, ts.URL+"/v1/mine", req, &resp); code != http.StatusOK {
+		t.Fatalf("status %d, resp %+v", code, resp)
+	}
+	if len(resp.Constraints) == 0 {
+		t.Fatalf("nothing mined: %+v", resp)
+	}
+	for _, c := range resp.Constraints {
+		if !c.Validated {
+			t.Fatalf("emitted constraint %s not validated: %+v", c.Name, c)
+		}
+		if c.Support < 0 || c.Support > 1 || c.Confidence < 0 || c.Confidence > 1 {
+			t.Fatalf("scores out of range: %+v", c)
+		}
+		if c.Constraint == "" || c.Signature == "" {
+			t.Fatalf("missing rendering: %+v", c)
+		}
+	}
+	if resp.Pairs != 4 || resp.Enumerated == 0 {
+		t.Fatalf("stats wrong: %+v", resp)
+	}
+}
+
+func TestMineEndpointCatalog(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cat := CatalogRequest{
+		Name:          "crm",
+		Schemas:       exSchemas,
+		MasterSchemas: exMasterSchemas,
+		Master:        exMaster,
+	}
+	if code := post(t, ts.URL+"/v1/catalog", cat, nil); code != http.StatusCreated {
+		t.Fatalf("catalog registration: status %d", code)
+	}
+	var resp MineResponse
+	req := MineRequest{Catalog: "crm", DBs: []string{exDB, exDB}}
+	if code := post(t, ts.URL+"/v1/mine", req, &resp); code != http.StatusOK {
+		t.Fatalf("status %d, resp %+v", code, resp)
+	}
+	if len(resp.Constraints) == 0 || resp.Pairs != 2 {
+		t.Fatalf("catalog mining found nothing: %+v", resp)
+	}
+	for _, c := range resp.Constraints {
+		if !c.Validated {
+			t.Fatalf("emitted constraint %s not validated", c.Name)
+		}
+	}
+}
+
+func TestMineEndpointErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		name string
+		req  MineRequest
+		code int
+	}{
+		{"empty", MineRequest{}, http.StatusBadRequest},
+		{"both shapes", MineRequest{Evidence: "x", Catalog: "crm"}, http.StatusBadRequest},
+		{"bad evidence", MineRequest{Evidence: "== wat\n"}, http.StatusBadRequest},
+		{"catalog without dbs", MineRequest{Catalog: "crm"}, http.StatusBadRequest},
+		{"unknown catalog", MineRequest{Catalog: "nope", DBs: []string{""}}, http.StatusNotFound},
+	} {
+		var er ErrorResponse
+		if code := post(t, ts.URL+"/v1/mine", tc.req, &er); code != tc.code {
+			t.Fatalf("%s: status %d, want %d (%+v)", tc.name, code, tc.code, er)
+		}
+	}
+}
+
+func TestMineEndpointCandidateClamp(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxMineCandidates: 3})
+	var resp MineResponse
+	// Request far more candidates than the operator ceiling allows.
+	req := MineRequest{Evidence: crmEvidence(t, 2, 0), MaxCandidates: 100000}
+	if code := post(t, ts.URL+"/v1/mine", req, &resp); code != http.StatusOK {
+		t.Fatalf("status %d, resp %+v", code, resp)
+	}
+	if !resp.Truncated {
+		t.Fatalf("expected truncation under the clamped budget: %+v", resp)
+	}
+	if resp.Enumerated > 3 {
+		t.Fatalf("enumerated %d candidates over the ceiling of 3", resp.Enumerated)
+	}
+}
+
+func TestRCDPDegreeField(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Complete instance: exact degree 1.0.
+	req := inlineRequest()
+	req.Degree = true
+	var resp CheckResponse
+	if code := post(t, ts.URL+"/v1/rcdp", req, &resp); code != http.StatusOK {
+		t.Fatalf("status %d, resp %+v", code, resp)
+	}
+	if resp.Verdict != "complete" {
+		t.Fatalf("verdict %q", resp.Verdict)
+	}
+	if resp.Degree == nil {
+		t.Fatal("degree requested but absent")
+	}
+	if !resp.Degree.Exact || resp.Degree.Value != 1.0 || resp.Degree.Lo != 1.0 || resp.Degree.Hi != 1.0 {
+		t.Fatalf("complete instance degree: %+v", resp.Degree)
+	}
+	if resp.Degree.Verdict != "complete" {
+		t.Fatalf("degree verdict %q", resp.Degree.Verdict)
+	}
+
+	// Incomplete instance: exact degree strictly below 1.0.
+	req = inlineRequest()
+	req.Degree = true
+	req.DB = `Cust(c2, Bob, 01, 973, 5550002).`
+	if code := post(t, ts.URL+"/v1/rcdp", req, &resp); code != http.StatusOK {
+		t.Fatalf("status %d, resp %+v", code, resp)
+	}
+	if resp.Verdict != "incomplete" || resp.Degree == nil {
+		t.Fatalf("incomplete run: verdict %q degree %+v", resp.Verdict, resp.Degree)
+	}
+	if !resp.Degree.Exact || resp.Degree.Value >= 1.0 || resp.Degree.Counterexamples == 0 {
+		t.Fatalf("incomplete instance degree: %+v", resp.Degree)
+	}
+
+	// Without the flag the field stays absent.
+	req = inlineRequest()
+	resp = CheckResponse{}
+	if code := post(t, ts.URL+"/v1/rcdp", req, &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Degree != nil {
+		t.Fatalf("degree present without the request flag: %+v", resp.Degree)
+	}
+}
+
+func TestRCDPDegreeValuationClamp(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxDegreeValuations: 2})
+	req := inlineRequest()
+	req.Degree = true
+	req.DegreeValuations = 1000000 // over the operator ceiling
+	var resp CheckResponse
+	if code := post(t, ts.URL+"/v1/rcdp", req, &resp); code != http.StatusOK {
+		t.Fatalf("status %d, resp %+v", code, resp)
+	}
+	if resp.Degree == nil {
+		t.Fatal("degree absent")
+	}
+	if resp.Degree.Exact {
+		t.Fatalf("ceiling of 2 valuations must force a sampled run: %+v", resp.Degree)
+	}
+	if resp.Degree.Candidates > 2 {
+		t.Fatalf("inspected %d candidates over the ceiling of 2", resp.Degree.Candidates)
+	}
+	if resp.Degree.Reason == "" {
+		t.Fatalf("sampled degree must name its stopping reason: %+v", resp.Degree)
+	}
+}
+
+func TestBatchDegreePassThrough(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	breq := BatchRequest{
+		Schemas:       exSchemas,
+		MasterSchemas: exMasterSchemas,
+		DB:            exDB,
+		Master:        exMaster,
+		Constraints:   exConstraints,
+		Queries:       []string{exQuery, exQuery},
+		Degree:        true,
+	}
+	buf, err := json.Marshal(breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", httpResp.StatusCode)
+	}
+	lines := 0
+	sc := bufio.NewScanner(httpResp.Body)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var line BatchLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad batch line %q: %v", sc.Text(), err)
+		}
+		if line.Error != "" {
+			t.Fatalf("batch item %d failed: %s", line.Index, line.Error)
+		}
+		if line.Response == nil || line.Response.Degree == nil {
+			t.Fatalf("batch item %d missing degree: %+v", line.Index, line.Response)
+		}
+		if line.Response.Degree.Value != 1.0 || !line.Response.Degree.Exact {
+			t.Fatalf("batch item %d degree: %+v", line.Index, line.Response.Degree)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("batch stream had %d lines, want 2", lines)
+	}
+}

@@ -71,6 +71,15 @@ type Config struct {
 	// /v1/approximate or /v1/advise request may spend; request
 	// max_candidates values above it are clamped (default 256).
 	MaxApproxCandidates int
+	// MaxMineCandidates is the operator ceiling on candidate
+	// constraints one /v1/mine request may enumerate and score; request
+	// max_candidates values above it are clamped (default 256).
+	MaxMineCandidates int
+	// MaxDegreeValuations is the operator ceiling on candidate
+	// valuations a degree-requesting check may inspect per disjunct;
+	// request degree_valuations values above it are clamped
+	// (default 100000).
+	MaxDegreeValuations int
 }
 
 // Server is the relserve HTTP service. Create with New, expose with
@@ -119,6 +128,12 @@ func New(cfg Config) *Server {
 	if cfg.MaxApproxCandidates <= 0 {
 		cfg.MaxApproxCandidates = 256
 	}
+	if cfg.MaxMineCandidates <= 0 {
+		cfg.MaxMineCandidates = 256
+	}
+	if cfg.MaxDegreeValuations <= 0 {
+		cfg.MaxDegreeValuations = 100000
+	}
 	s := &Server{
 		cfg:      cfg,
 		workers:  cfg.Workers,
@@ -133,6 +148,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/approximate", handleAdmitted(s, "approximate", s.serveApproximate))
 	s.mux.HandleFunc("/v1/advise", handleAdmitted(s, "advise", s.serveAdvise))
 	s.mux.HandleFunc("/v1/batch", handleAdmitted(s, "batch", s.serveBatch))
+	s.mux.HandleFunc("/v1/mine", handleAdmitted(s, "mine", s.serveMine))
 	s.mux.HandleFunc("/v1/partial", handleAdmitted(s, "partial", s.servePartial))
 	s.mux.HandleFunc("/v1/catalog", s.catalogHandler)
 	s.mux.HandleFunc("POST /v1/catalog/{name}/insert", handleAdmitted(s, "insert", s.serveMutation("insert")))
